@@ -1,0 +1,88 @@
+// Shared plumbing for the figure-reproduction bench drivers.
+//
+// Every driver sweeps one x-axis (demand pairs, demand intensity, disruption
+// variance, edge probability), runs a set of algorithms over `--runs` seeded
+// instances per point, prints a paper-style table to stdout and optionally
+// mirrors it to CSV (--csv <path>).  Absolute numbers depend on the machine
+// and on the synthetic topology substitutions documented in DESIGN.md; the
+// *shape* of each series is what reproduces the paper's figures.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace netrec::bench {
+
+/// Declares the flags shared by all figure drivers.
+inline void declare_common_flags(util::Flags& flags, int default_runs) {
+  flags.define("runs", std::to_string(default_runs),
+               "instances averaged per data point (paper: 20)");
+  flags.define("seed", "42", "master RNG seed");
+  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("verbose", "false", "log solver diagnostics to stderr");
+}
+
+/// Parses flags; returns false (after printing usage) on --help or error.
+inline bool parse_or_usage(util::Flags& flags, int argc, char** argv) {
+  try {
+    if (!flags.parse(argc, argv)) {
+      std::fputs(flags.usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), flags.usage(argv[0]).c_str());
+    return false;
+  }
+  if (flags.get_bool("verbose")) {
+    util::set_log_level(util::LogLevel::kInfo);
+  } else {
+    util::set_log_level(util::LogLevel::kError);
+  }
+  return true;
+}
+
+/// Collects rows and emits them as an aligned table plus optional CSV.
+class ResultSink {
+ public:
+  ResultSink(std::string title, std::vector<std::string> header,
+             const std::string& csv_path)
+      : title_(std::move(title)), header_(header), table_(header) {
+    if (!csv_path.empty()) {
+      csv_ = std::make_unique<util::CsvWriter>(csv_path);
+      csv_->header(header_);
+    }
+  }
+
+  void row(std::vector<std::string> cells) {
+    if (csv_) csv_->row(cells);
+    table_.add_row(std::move(cells));
+  }
+
+  void print() {
+    std::printf("\n== %s ==\n", title_.c_str());
+    table_.print();
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  util::Table table_;
+  std::unique_ptr<util::CsvWriter> csv_;
+};
+
+/// Formats a mean with fixed precision (the paper's plots carry no error
+/// bars; stderr is exposed in CSV-producing drivers where it matters).
+inline std::string fmt(double value, int precision = 1) {
+  return util::format_double(value, precision);
+}
+
+}  // namespace netrec::bench

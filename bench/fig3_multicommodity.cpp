@@ -1,0 +1,82 @@
+// Figure 3: Bell-Canada, complete destruction, 4 demand pairs, demand flow
+// per pair swept — total repairs of the multi-commodity relaxation's optimal
+// face (MCB best / MCW worst) against OPT and ALL.
+//
+// Expected shape (paper): the MCB..MCW band is wide — MCB tracks OPT while
+// MCW drifts toward ALL — which is the paper's argument for why eq. (8) is
+// not a usable recovery policy by itself.
+#include "bench/bench_common.hpp"
+#include "disruption/disruption.hpp"
+#include "heuristics/baselines.hpp"
+#include "heuristics/multicommodity.hpp"
+#include "heuristics/opt.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netrec;
+
+int run(int argc, char** argv) {
+  util::Flags flags;
+  bench::declare_common_flags(flags, /*default_runs=*/2);
+  flags.define("pairs", "4", "number of demand pairs");
+  flags.define("flows", "2,4,6,8,10,12,14,16,18", "demand intensities swept");
+  flags.define("samples", "6", "optimal-face vertices sampled per instance");
+  flags.define("opt-seconds", "3", "MILP budget per instance (0 disables)");
+  if (!bench::parse_or_usage(flags, argc, argv)) return 0;
+
+  const int pairs = flags.get_int("pairs");
+  const auto samples = static_cast<std::size_t>(flags.get_int("samples"));
+  const double opt_seconds = flags.get_double("opt-seconds");
+  const std::string csv = flags.get("csv");
+
+  bench::ResultSink sink("Fig 3: repairs of the eq.(8) optimal face",
+                         {"flow", "OPT", "MCB", "MCW", "ALL"},
+                         csv.empty() ? "" : csv + ".csv");
+
+  for (double flow : flags.get_double_list("flows")) {
+    util::RunningStats opt_stats, mcb_stats, mcw_stats, all_stats;
+    util::Rng master(static_cast<std::uint64_t>(flags.get_int("seed")) +
+                     static_cast<std::uint64_t>(flow * 100));
+    const auto runs = static_cast<std::size_t>(flags.get_int("runs"));
+    for (std::size_t run_idx = 0; run_idx < runs; ++run_idx) {
+      util::Rng rng = master.fork();
+      core::RecoveryProblem p;
+      p.graph = topology::bell_canada_like();
+      std::size_t redraws = 0;
+      do {
+        p.demands = scenario::far_apart_demands(
+            p.graph, static_cast<std::size_t>(pairs), flow, rng);
+      } while (!p.feasible_when_fully_repaired() && ++redraws < 25);
+      disruption::complete_destruction(p.graph);
+
+      util::Rng face_rng = rng.fork();
+      const auto band =
+          heuristics::multicommodity_band(p, samples, face_rng);
+      if (!band.feasible) continue;
+      mcb_stats.add(static_cast<double>(band.mcb_repairs));
+      mcw_stats.add(static_cast<double>(band.mcw_repairs));
+
+      heuristics::OptOptions oo;
+      oo.time_limit_seconds = opt_seconds;
+      oo.use_milp = opt_seconds > 0.0;
+      opt_stats.add(static_cast<double>(
+          heuristics::solve_opt(p, oo).solution.total_repairs()));
+      all_stats.add(
+          static_cast<double>(heuristics::solve_all(p).total_repairs()));
+    }
+    sink.row({bench::fmt(flow, 0), bench::fmt(opt_stats.mean()),
+              bench::fmt(mcb_stats.mean()), bench::fmt(mcw_stats.mean()),
+              bench::fmt(all_stats.mean())});
+    std::printf("[fig3] flow=%.0f done\n", flow);
+    std::fflush(stdout);
+  }
+  sink.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the primitives ISP leans on:
+// Dijkstra under the dynamic metric, Dinic max flow, the demand-based
+// centrality pass, the exact routability test, the split LP and a dense
+// simplex solve.  These are the per-iteration costs behind Fig. 7(a)'s
+// "ISP time is negligible" claim.
+#include <benchmark/benchmark.h>
+
+#include "core/centrality.hpp"
+#include "core/isp.hpp"
+#include "disruption/disruption.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/maxflow.hpp"
+#include "lp/simplex.hpp"
+#include "mcf/routing.hpp"
+#include "mcf/split.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+
+namespace {
+
+using namespace netrec;
+
+const graph::Graph& bell() {
+  static const graph::Graph g = topology::bell_canada_like();
+  return g;
+}
+
+const graph::Graph& caida() {
+  static const graph::Graph g = [] {
+    util::Rng rng(77);
+    return topology::caida_like({}, rng);
+  }();
+  return g;
+}
+
+std::vector<mcf::Demand> demands_for(const graph::Graph& g, std::size_t n,
+                                     double amount) {
+  util::Rng rng(123);
+  return scenario::far_apart_demands(g, n, amount, rng);
+}
+
+void BM_DijkstraBell(benchmark::State& state) {
+  const auto& g = bell();
+  auto unit = [](graph::EdgeId) { return 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0, unit));
+  }
+}
+BENCHMARK(BM_DijkstraBell);
+
+void BM_DijkstraCaida(benchmark::State& state) {
+  const auto& g = caida();
+  auto unit = [](graph::EdgeId) { return 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0, unit));
+  }
+}
+BENCHMARK(BM_DijkstraCaida);
+
+void BM_DinicBell(benchmark::State& state) {
+  const auto& g = bell();
+  auto cap = mcf::static_capacity(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::max_flow(g, 0, static_cast<graph::NodeId>(g.num_nodes() - 3),
+                        cap));
+  }
+}
+BENCHMARK(BM_DinicBell);
+
+void BM_CentralityBell(benchmark::State& state) {
+  const auto& g = bell();
+  const auto demands = demands_for(g, 4, 10.0);
+  auto unit = [](graph::EdgeId) { return 1.0; };
+  auto cap = mcf::static_capacity(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::demand_based_centrality(g, demands, unit, cap));
+  }
+}
+BENCHMARK(BM_CentralityBell);
+
+void BM_RoutabilityBell(benchmark::State& state) {
+  const auto& g = bell();
+  const auto demands = demands_for(g, 4, 10.0);
+  auto cap = mcf::static_capacity(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcf::is_routable(g, demands, {}, cap));
+  }
+}
+BENCHMARK(BM_RoutabilityBell);
+
+void BM_RoutabilityCaida(benchmark::State& state) {
+  const auto& g = caida();
+  const auto demands = demands_for(g, 4, 10.0);
+  auto cap = mcf::static_capacity(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcf::is_routable(g, demands, {}, cap));
+  }
+}
+BENCHMARK(BM_RoutabilityCaida);
+
+void BM_SplitLpBell(benchmark::State& state) {
+  const auto& g = bell();
+  const auto demands = demands_for(g, 4, 10.0);
+  auto cap = mcf::static_capacity(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mcf::max_splittable_amount(g, demands, 0, 19, {}, cap));
+  }
+}
+BENCHMARK(BM_SplitLpBell);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // A 60-row, 120-column random-ish LP representative of the masters.
+  lp::Model model;
+  util::Rng rng(9);
+  const int rows = 60;
+  const int cols = 120;
+  for (int r = 0; r < rows; ++r) {
+    model.add_constraint(lp::Sense::kLessEqual, rng.uniform(5.0, 20.0));
+  }
+  for (int c = 0; c < cols; ++c) {
+    const int v = model.add_variable(0.0, lp::kInfinity, -rng.uniform(0.1, 1.0));
+    for (int r = 0; r < rows; ++r) {
+      if (rng.chance(0.15)) model.set_coefficient(r, v, rng.uniform(0.1, 2.0));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(model));
+  }
+}
+BENCHMARK(BM_SimplexDense);
+
+void BM_IspBellComplete(benchmark::State& state) {
+  core::RecoveryProblem p;
+  p.graph = bell();
+  p.demands = demands_for(p.graph, 4, 10.0);
+  disruption::complete_destruction(p.graph);
+  for (auto _ : state) {
+    core::IspSolver solver(p);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_IspBellComplete);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Progressive recovery: turning ISP's repair *set* into a repair *schedule*.
+//
+// ISP decides what to repair; field crews need an order.  The
+// heuristics::schedule_repairs module orders the set so restored demand
+// front-loads (the objective of Wang, Qiao & Yu, INFOCOM 2011 — the paper's
+// ref. [32]), and this example prints the resulting restoration curve,
+// comparing it against executing the same repairs in plain list order.
+//
+//   $ ./progressive_recovery [--pairs 4] [--flow 10] [--seed 11]
+#include <cstdio>
+
+#include "netrec.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netrec;
+
+  util::Flags flags;
+  flags.define("pairs", "4", "number of critical demand pairs");
+  flags.define("flow", "10", "flow units per pair");
+  flags.define("seed", "11", "random seed");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage(argv[0]).c_str(), stdout);
+    return 0;
+  }
+
+  core::RecoveryProblem problem;
+  problem.graph = topology::bell_canada_like();
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  problem.demands = scenario::far_apart_demands(
+      problem.graph, static_cast<std::size_t>(flags.get_int("pairs")),
+      flags.get_double("flow"), rng);
+  disruption::complete_destruction(problem.graph);
+
+  const core::RecoverySolution plan = core::IspSolver(problem).solve();
+  std::printf("ISP plan: %zu repairs for %.0f units of critical demand\n\n",
+              plan.total_repairs(), problem.total_demand());
+
+  heuristics::ScheduleOptions sopt;
+  sopt.exact_scoring = true;
+  const auto schedule = heuristics::schedule_repairs(problem, plan, sopt);
+
+  std::printf("%-6s %-34s %10s\n", "step", "intervention", "restored");
+  double prev = 0.0;
+  for (std::size_t i = 0; i < schedule.steps.size(); ++i) {
+    const auto& step = schedule.steps[i];
+    const double pct = 100.0 * step.restored_after / problem.total_demand();
+    std::printf("%-6zu %-34s %9.1f%%%s\n", i + 1, step.label.c_str(), pct,
+                step.restored_after > prev + 1e-9 ? "  <-- service gain" : "");
+    prev = step.restored_after;
+  }
+
+  std::printf("\nschedule quality:\n");
+  std::printf("  restoration AUC           %.3f (1.0 = instant)\n",
+              schedule.restoration_auc());
+  std::printf("  steps to 50%% restored     %zu\n",
+              schedule.steps_to_restore(0.5));
+  std::printf("  steps to 100%% restored    %zu of %zu\n",
+              schedule.steps_to_restore(1.0), schedule.steps.size());
+
+  // Baseline: same repairs, plain list order (nodes then edges).
+  {
+    core::RepairState state(problem.graph);
+    const auto cap = mcf::static_capacity(problem.graph);
+    double area = 0.0;
+    std::size_t steps = 0;
+    auto apply = [&](bool is_node, int id) {
+      if (is_node) {
+        state.repair_node(static_cast<graph::NodeId>(id));
+      } else {
+        state.repair_edge(static_cast<graph::EdgeId>(id));
+      }
+      const auto routed = mcf::max_routed_flow(
+          problem.graph, problem.demands, state.edge_filter(), cap);
+      area += routed.total_routed / problem.total_demand();
+      ++steps;
+    };
+    for (graph::NodeId n : plan.repaired_nodes) apply(true, n);
+    for (graph::EdgeId e : plan.repaired_edges) apply(false, e);
+    std::printf("  list-order AUC (baseline) %.3f\n",
+                steps ? area / static_cast<double>(steps) : 1.0);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "core/centrality.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/simple_paths.hpp"
+
+namespace netrec::core {
+
+CentralityResult::CentralityResult(std::size_t num_nodes,
+                                   std::size_t num_demands)
+    : score_(num_nodes, 0.0),
+      contributors_(num_nodes),
+      demand_paths_(num_demands) {}
+
+double CentralityResult::capacity_through(int demand, graph::NodeId v,
+                                          const graph::Graph& g) const {
+  const DemandPathSet& set = demand_paths_[static_cast<std::size_t>(demand)];
+  double total = 0.0;
+  for (std::size_t p = 0; p < set.paths.size(); ++p) {
+    for (graph::NodeId n : set.paths[p].nodes(g)) {
+      if (n == v) {
+        total += set.capacities[p];
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<graph::NodeId> CentralityResult::ranking() const {
+  std::vector<graph::NodeId> order(score_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](graph::NodeId a, graph::NodeId b) {
+                     return score_[static_cast<std::size_t>(a)] >
+                            score_[static_cast<std::size_t>(b)];
+                   });
+  return order;
+}
+
+CentralityResult demand_based_centrality(
+    const graph::Graph& g, const std::vector<mcf::Demand>& demands,
+    const graph::EdgeWeight& length, const graph::EdgeWeight& residual,
+    const CentralityOptions& options) {
+  CentralityResult result(g.num_nodes(), demands.size());
+
+  for (std::size_t h = 0; h < demands.size(); ++h) {
+    const mcf::Demand& d = demands[h];
+    if (d.amount <= 1e-9 || d.source == d.target) continue;
+    auto sp = graph::successive_shortest_paths(
+        g, d.source, d.target, d.amount, length, residual,
+        /*edge_ok=*/{}, /*node_ok=*/{}, options.max_paths_per_demand);
+    if (sp.paths.empty() || sp.total_capacity <= 1e-12) continue;
+
+    DemandPathSet& set =
+        result.mutable_demand_paths()[static_cast<std::size_t>(h)];
+    set.paths = std::move(sp.paths);
+    set.capacities = std::move(sp.capacities);
+    set.total_capacity = sp.total_capacity;
+
+    // Eq. (3): share of d proportional to each path's selection capacity.
+    std::vector<char> counted(g.num_nodes(), 0);
+    std::vector<graph::NodeId> touched;
+    for (std::size_t p = 0; p < set.paths.size(); ++p) {
+      const double share =
+          set.capacities[p] / set.total_capacity * d.amount;
+      for (graph::NodeId v : set.paths[p].nodes(g)) {
+        result.mutable_scores()[static_cast<std::size_t>(v)] += share;
+        if (!counted[static_cast<std::size_t>(v)]) {
+          counted[static_cast<std::size_t>(v)] = 1;
+          touched.push_back(v);
+        }
+      }
+    }
+    for (graph::NodeId v : touched) {
+      result.mutable_contributors()[static_cast<std::size_t>(v)].push_back(
+          static_cast<int>(h));
+    }
+  }
+  return result;
+}
+
+}  // namespace netrec::core

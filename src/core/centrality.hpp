@@ -1,0 +1,79 @@
+// Demand-based centrality (paper Section IV-B, eq. 3).
+//
+// The runtime estimate ĉd(v): for each demand (i,j) collect successive
+// shortest paths (under the dynamic length metric) on the full supply graph
+// with residual capacities until their combined capacity covers d_ij; each
+// selected path p contributes  c(p)/sum_q c(q) * d_ij  to every node it
+// touches.  The result also exposes the per-demand path sets P̂*(i,j), which
+// ISP's split decisions 1 and 2 reuse (C(v_BC) membership and the capacity
+// routable through v_BC).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "mcf/types.hpp"
+
+namespace netrec::core {
+
+struct CentralityOptions {
+  /// `const` term of the dynamic metric — the length of a working link.
+  double metric_const = 1.0;
+  /// Cap on successive shortest paths collected per demand.
+  std::size_t max_paths_per_demand = 64;
+};
+
+struct DemandPathSet {
+  std::vector<graph::Path> paths;
+  std::vector<double> capacities;  ///< residual c(p) when selected
+  double total_capacity = 0.0;
+};
+
+class CentralityResult {
+ public:
+  CentralityResult(std::size_t num_nodes, std::size_t num_demands);
+
+  const std::vector<double>& scores() const { return score_; }
+  double score(graph::NodeId v) const {
+    return score_[static_cast<std::size_t>(v)];
+  }
+
+  /// Demand indices whose P̂* passes through v — the paper's C(n)(v).
+  const std::vector<int>& contributors(graph::NodeId v) const {
+    return contributors_[static_cast<std::size_t>(v)];
+  }
+
+  const DemandPathSet& demand_paths(int demand) const {
+    return demand_paths_[static_cast<std::size_t>(demand)];
+  }
+
+  /// sum of c(p) over P̂*(demand)|v — capacity routable through v.
+  double capacity_through(int demand, graph::NodeId v,
+                          const graph::Graph& g) const;
+
+  /// Nodes ordered by decreasing score (ties: smaller id first).
+  std::vector<graph::NodeId> ranking() const;
+
+  // Builder access (used by demand_based_centrality).
+  std::vector<double>& mutable_scores() { return score_; }
+  std::vector<std::vector<int>>& mutable_contributors() {
+    return contributors_;
+  }
+  std::vector<DemandPathSet>& mutable_demand_paths() { return demand_paths_; }
+
+ private:
+  std::vector<double> score_;
+  std::vector<std::vector<int>> contributors_;
+  std::vector<DemandPathSet> demand_paths_;
+};
+
+/// Computes ĉd over the *full* graph (broken elements included — centrality
+/// ranks repair candidates) with the supplied dynamic length metric and
+/// residual capacities.
+CentralityResult demand_based_centrality(
+    const graph::Graph& g, const std::vector<mcf::Demand>& demands,
+    const graph::EdgeWeight& length, const graph::EdgeWeight& residual,
+    const CentralityOptions& options = {});
+
+}  // namespace netrec::core

@@ -1,0 +1,56 @@
+#include "core/repair_state.hpp"
+
+namespace netrec::core {
+
+RepairState::RepairState(const graph::Graph& g)
+    : g_(g),
+      node_repaired_(g.num_nodes(), 0),
+      edge_repaired_(g.num_edges(), 0) {}
+
+bool RepairState::repair_node(graph::NodeId n) {
+  g_.check_node(n);
+  if (!g_.node(n).broken || node_repaired(n)) return false;
+  node_repaired_[static_cast<std::size_t>(n)] = 1;
+  repaired_node_list_.push_back(n);
+  cost_ += g_.node(n).repair_cost;
+  return true;
+}
+
+bool RepairState::repair_edge(graph::EdgeId e) {
+  g_.check_edge(e);
+  if (!g_.edge(e).broken || edge_repaired(e)) return false;
+  edge_repaired_[static_cast<std::size_t>(e)] = 1;
+  repaired_edge_list_.push_back(e);
+  cost_ += g_.edge(e).repair_cost;
+  return true;
+}
+
+void RepairState::repair_path(const graph::Path& path) {
+  if (path.start != graph::kInvalidNode) repair_node(path.start);
+  graph::NodeId at = path.start;
+  for (graph::EdgeId e : path.edges) {
+    repair_edge(e);
+    at = g_.other_endpoint(e, at);
+    repair_node(at);
+  }
+}
+
+bool RepairState::node_ok(graph::NodeId n) const {
+  return !g_.node(n).broken || node_repaired(n);
+}
+
+bool RepairState::edge_ok(graph::EdgeId e) const {
+  const graph::Edge& edge = g_.edge(e);
+  if (edge.broken && !edge_repaired(e)) return false;
+  return node_ok(edge.u) && node_ok(edge.v);
+}
+
+graph::EdgeFilter RepairState::edge_filter() const {
+  return [this](graph::EdgeId e) { return edge_ok(e); };
+}
+
+graph::NodeFilter RepairState::node_filter() const {
+  return [this](graph::NodeId n) { return node_ok(n); };
+}
+
+}  // namespace netrec::core

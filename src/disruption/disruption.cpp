@@ -1,0 +1,109 @@
+#include "disruption/disruption.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netrec::disruption {
+
+void complete_destruction(graph::Graph& g) { g.break_everything(); }
+
+std::pair<double, double> barycenter(const graph::Graph& g) {
+  double sx = 0.0;
+  double sy = 0.0;
+  if (g.num_nodes() == 0) return {0.0, 0.0};
+  for (const auto& n : g.nodes()) {
+    sx += n.x;
+    sy += n.y;
+  }
+  const double inv = 1.0 / static_cast<double>(g.num_nodes());
+  return {sx * inv, sy * inv};
+}
+
+DisruptionReport gaussian_disaster(graph::Graph& g,
+                                   const GaussianDisasterOptions& options,
+                                   util::Rng& rng) {
+  DisruptionReport report;
+  if (g.num_nodes() == 0) return report;
+  const auto [ex, ey] = options.epicenter.value_or(barycenter(g));
+
+  // Scene normalisation: farthest node -> distance scene_radius.
+  double max_dist = 0.0;
+  for (const auto& n : g.nodes()) {
+    max_dist = std::max(max_dist, std::hypot(n.x - ex, n.y - ey));
+  }
+  const double scale = max_dist > 0.0 ? options.scene_radius / max_dist : 0.0;
+
+  // "Scaled the probability accordingly": the Gaussian's peak grows linearly
+  // with the variance, so wider disasters are also more intense.
+  const double peak = options.variance / options.reference_variance;
+  auto failure_probability = [&](double x, double y) {
+    const double d = std::hypot(x - ex, y - ey) * scale;
+    return std::min(1.0, peak * std::exp(-d * d / (2.0 * options.variance)));
+  };
+
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    auto& node = g.node(static_cast<graph::NodeId>(i));
+    if (!node.broken && rng.chance(failure_probability(node.x, node.y))) {
+      node.broken = true;
+      ++report.broken_nodes;
+    }
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    auto& edge = g.edge(static_cast<graph::EdgeId>(e));
+    const auto& u = g.node(edge.u);
+    const auto& v = g.node(edge.v);
+    const double mx = (u.x + v.x) / 2.0;
+    const double my = (u.y + v.y) / 2.0;
+    if (!edge.broken && rng.chance(failure_probability(mx, my))) {
+      edge.broken = true;
+      ++report.broken_edges;
+    }
+  }
+  return report;
+}
+
+DisruptionReport circular_disaster(graph::Graph& g, double cx, double cy,
+                                   double radius) {
+  DisruptionReport report;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    auto& node = g.node(static_cast<graph::NodeId>(i));
+    if (!node.broken && std::hypot(node.x - cx, node.y - cy) <= radius) {
+      node.broken = true;
+      ++report.broken_nodes;
+    }
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    auto& edge = g.edge(static_cast<graph::EdgeId>(e));
+    const auto& u = g.node(edge.u);
+    const auto& v = g.node(edge.v);
+    const double mx = (u.x + v.x) / 2.0;
+    const double my = (u.y + v.y) / 2.0;
+    if (!edge.broken && std::hypot(mx - cx, my - cy) <= radius) {
+      edge.broken = true;
+      ++report.broken_edges;
+    }
+  }
+  return report;
+}
+
+DisruptionReport random_failures(graph::Graph& g, double node_probability,
+                                 double edge_probability, util::Rng& rng) {
+  DisruptionReport report;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    auto& node = g.node(static_cast<graph::NodeId>(i));
+    if (!node.broken && rng.chance(node_probability)) {
+      node.broken = true;
+      ++report.broken_nodes;
+    }
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    auto& edge = g.edge(static_cast<graph::EdgeId>(e));
+    if (!edge.broken && rng.chance(edge_probability)) {
+      edge.broken = true;
+      ++report.broken_edges;
+    }
+  }
+  return report;
+}
+
+}  // namespace netrec::disruption

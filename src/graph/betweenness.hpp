@@ -1,0 +1,26 @@
+// Classic betweenness centrality (Brandes' algorithm, weighted variant).
+//
+// The paper motivates its demand-based centrality against "previous
+// definitions of node centrality" (Freeman betweenness among them, refs
+// [16], [13]).  This module provides that classic metric so the ablation
+// bench can quantify what the demand-aware variant actually buys: Brandes
+// scores nodes by shortest-path participation over *all* vertex pairs,
+// ignoring both demand endpoints and capacities.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace netrec::graph {
+
+/// Brandes betweenness for all nodes under the given edge lengths (>= 0).
+/// Runs |V| Dijkstra passes: O(V * (E log V)).  Filtered elements are
+/// treated as absent.  Endpoint pairs contribute to intermediate nodes only
+/// (standard definition).
+std::vector<double> betweenness_centrality(const Graph& g,
+                                           const EdgeWeight& length,
+                                           const EdgeFilter& edge_ok = {},
+                                           const NodeFilter& node_ok = {});
+
+}  // namespace netrec::graph

@@ -1,0 +1,125 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace netrec::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool ShortestPathTree::reached(NodeId node) const {
+  return distance[static_cast<std::size_t>(node)] < kInf;
+}
+
+std::optional<Path> ShortestPathTree::path_to(const Graph& g,
+                                              NodeId target) const {
+  if (!reached(target)) return std::nullopt;
+  Path path;
+  path.start = source;
+  std::vector<EdgeId> reversed;
+  NodeId at = target;
+  while (at != source) {
+    const EdgeId e = parent_edge[static_cast<std::size_t>(at)];
+    reversed.push_back(e);
+    at = g.other_endpoint(e, at);
+  }
+  path.edges.assign(reversed.rbegin(), reversed.rend());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const EdgeWeight& length, const EdgeFilter& edge_ok,
+                          const NodeFilter& node_ok) {
+  g.check_node(source);
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(g.num_nodes(), kInf);
+  tree.parent_edge.assign(g.num_nodes(), kInvalidEdge);
+  tree.distance[static_cast<std::size_t>(source)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, at] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(at)]) continue;
+    for (EdgeId e : g.incident_edges(at)) {
+      if (edge_ok && !edge_ok(e)) continue;
+      const NodeId to = g.other_endpoint(e, at);
+      if (node_ok && !node_ok(to)) continue;
+      const double w = length(e);
+      if (w < 0.0) {
+        throw std::invalid_argument("dijkstra: negative edge length");
+      }
+      const double candidate = dist + w;
+      if (candidate < tree.distance[static_cast<std::size_t>(to)]) {
+        tree.distance[static_cast<std::size_t>(to)] = candidate;
+        tree.parent_edge[static_cast<std::size_t>(to)] = e;
+        heap.emplace(candidate, to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target,
+                                  const EdgeWeight& length,
+                                  const EdgeFilter& edge_ok,
+                                  const NodeFilter& node_ok) {
+  return dijkstra(g, source, length, edge_ok, node_ok).path_to(g, target);
+}
+
+std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
+                                const EdgeWeight& capacity,
+                                const EdgeFilter& edge_ok,
+                                const NodeFilter& node_ok) {
+  g.check_node(source);
+  g.check_node(target);
+  // Max-bottleneck Dijkstra: label = best bottleneck achievable to the node.
+  std::vector<double> width(g.num_nodes(), 0.0);
+  std::vector<EdgeId> parent(g.num_nodes(), kInvalidEdge);
+  width[static_cast<std::size_t>(source)] = kInf;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item> heap;  // max-heap on bottleneck
+  heap.emplace(kInf, source);
+  while (!heap.empty()) {
+    const auto [w, at] = heap.top();
+    heap.pop();
+    if (w < width[static_cast<std::size_t>(at)]) continue;
+    if (at == target) break;
+    for (EdgeId e : g.incident_edges(at)) {
+      if (edge_ok && !edge_ok(e)) continue;
+      const NodeId to = g.other_endpoint(e, at);
+      if (node_ok && !node_ok(to)) continue;
+      const double bottleneck = std::min(w, capacity(e));
+      if (bottleneck > width[static_cast<std::size_t>(to)]) {
+        width[static_cast<std::size_t>(to)] = bottleneck;
+        parent[static_cast<std::size_t>(to)] = e;
+        heap.emplace(bottleneck, to);
+      }
+    }
+  }
+  if (width[static_cast<std::size_t>(target)] <= 0.0 && source != target) {
+    return std::nullopt;
+  }
+  Path path;
+  path.start = source;
+  std::vector<EdgeId> reversed;
+  NodeId at = target;
+  while (at != source) {
+    const EdgeId e = parent[static_cast<std::size_t>(at)];
+    if (e == kInvalidEdge) return std::nullopt;
+    reversed.push_back(e);
+    at = g.other_endpoint(e, at);
+  }
+  path.edges.assign(reversed.rbegin(), reversed.rend());
+  return path;
+}
+
+}  // namespace netrec::graph

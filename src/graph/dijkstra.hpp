@@ -1,0 +1,48 @@
+// Dijkstra shortest paths with pluggable (dynamic) edge lengths.
+//
+// ISP's path metric (Section IV-D) changes every iteration — repaired
+// elements become "short", pruned capacity raises lengths — so lengths are a
+// callback rather than stored weights.  The same routine also serves column-
+// generation pricing in the MCF solver (lengths = simplex duals).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace netrec::graph {
+
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<double> distance;    ///< +inf when unreachable
+  std::vector<EdgeId> parent_edge; ///< kInvalidEdge at source/unreachable
+
+  bool reached(NodeId node) const;
+
+  /// Reconstructs source -> target; std::nullopt when unreachable.
+  std::optional<Path> path_to(const Graph& g, NodeId target) const;
+};
+
+/// Runs Dijkstra from `source`.  `length` must be >= 0 for every usable edge
+/// (negative lengths throw std::invalid_argument at first encounter).
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const EdgeWeight& length,
+                          const EdgeFilter& edge_ok = {},
+                          const NodeFilter& node_ok = {});
+
+/// Shortest path source -> target, or nullopt if disconnected.
+std::optional<Path> shortest_path(const Graph& g, NodeId source,
+                                  NodeId target, const EdgeWeight& length,
+                                  const EdgeFilter& edge_ok = {},
+                                  const NodeFilter& node_ok = {});
+
+/// Widest (maximum-bottleneck-capacity) path source -> target under the
+/// capacity view; used by greedy routing pre-passes.
+std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
+                                const EdgeWeight& capacity,
+                                const EdgeFilter& edge_ok = {},
+                                const NodeFilter& node_ok = {});
+
+}  // namespace netrec::graph

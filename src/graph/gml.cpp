@@ -1,0 +1,276 @@
+#include "graph/gml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+namespace netrec::graph {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdentifier, kString, kNumber, kOpen, kClose, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip_whitespace_and_comments();
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", 0.0};
+    const char c = text_[pos_];
+    if (c == '[') {
+      ++pos_;
+      return {Token::Kind::kOpen, "[", 0.0};
+    }
+    if (c == ']') {
+      ++pos_;
+      return {Token::Kind::kClose, "]", 0.0};
+    }
+    if (c == '"') return lex_string();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      return lex_number();
+    }
+    return lex_identifier();
+  }
+
+ private:
+  void skip_whitespace_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_string() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      value += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("GML: unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return {Token::Kind::kString, value, 0.0};
+  }
+
+  Token lex_number() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const std::string text = text_.substr(start, pos_ - start);
+    try {
+      return {Token::Kind::kNumber, text, std::stod(text)};
+    } catch (const std::exception&) {
+      throw std::runtime_error("GML: malformed number '" + text + "'");
+    }
+  }
+
+  Token lex_identifier() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error(std::string("GML: unexpected character '") +
+                               text_[pos_] + "'");
+    }
+    return {Token::Kind::kIdentifier, text_.substr(start, pos_ - start), 0.0};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+using Value = std::variant<double, std::string>;
+using Record = std::multimap<std::string, Value>;
+
+/// Parses one `[ key value ... ]` block; nested blocks are parsed
+/// recursively but flattened away unless the caller asks for them.
+Record parse_block(Lexer& lexer,
+                   std::vector<std::pair<std::string, Record>>* nested) {
+  Record record;
+  while (true) {
+    Token key = lexer.next();
+    if (key.kind == Token::Kind::kClose) return record;
+    if (key.kind == Token::Kind::kEnd) {
+      throw std::runtime_error("GML: unbalanced brackets");
+    }
+    if (key.kind != Token::Kind::kIdentifier) {
+      throw std::runtime_error("GML: expected attribute name, got '" +
+                               key.text + "'");
+    }
+    Token value = lexer.next();
+    switch (value.kind) {
+      case Token::Kind::kNumber:
+        record.emplace(key.text, value.number);
+        break;
+      case Token::Kind::kString:
+      case Token::Kind::kIdentifier:
+        record.emplace(key.text, value.text);
+        break;
+      case Token::Kind::kOpen: {
+        Record child = parse_block(lexer, nested);
+        if (nested) nested->emplace_back(key.text, std::move(child));
+        break;
+      }
+      default:
+        throw std::runtime_error("GML: expected value for attribute '" +
+                                 key.text + "'");
+    }
+  }
+}
+
+std::optional<double> get_number(const Record& r, const std::string& key) {
+  auto it = r.find(key);
+  if (it == r.end()) return std::nullopt;
+  if (const double* d = std::get_if<double>(&it->second)) return *d;
+  // Topology Zoo sometimes quotes numeric values.
+  try {
+    return std::stod(std::get<std::string>(it->second));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> get_string(const Record& r,
+                                      const std::string& key) {
+  auto it = r.find(key);
+  if (it == r.end()) return std::nullopt;
+  if (const std::string* s = std::get_if<std::string>(&it->second)) return *s;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Graph parse_gml(const std::string& text, const GmlOptions& options) {
+  Lexer lexer(text);
+
+  // Find the top-level `graph [`.
+  Token tok = lexer.next();
+  while (tok.kind != Token::Kind::kEnd) {
+    if (tok.kind == Token::Kind::kIdentifier && tok.text == "graph") break;
+    tok = lexer.next();
+  }
+  if (tok.kind == Token::Kind::kEnd) {
+    throw std::runtime_error("GML: no 'graph' block found");
+  }
+  if (lexer.next().kind != Token::Kind::kOpen) {
+    throw std::runtime_error("GML: expected '[' after 'graph'");
+  }
+
+  std::vector<std::pair<std::string, Record>> blocks;
+  parse_block(lexer, &blocks);
+
+  Graph g;
+  std::map<long long, NodeId> id_map;
+  // First pass: nodes (GML allows interleaving, so collect then wire edges).
+  for (const auto& [kind, record] : blocks) {
+    if (kind != "node") continue;
+    const auto gml_id = get_number(record, "id");
+    if (!gml_id) throw std::runtime_error("GML: node without id");
+    const std::string label =
+        get_string(record, "label").value_or("n" + std::to_string(
+            static_cast<long long>(*gml_id)));
+    double x = get_number(record, "Longitude")
+                   .value_or(get_number(record, "x").value_or(0.0));
+    double y = get_number(record, "Latitude")
+                   .value_or(get_number(record, "y").value_or(0.0));
+    const double cost =
+        get_number(record, "cost").value_or(options.default_repair_cost);
+    const NodeId node = g.add_node(label, x, y, cost);
+    const auto key = static_cast<long long>(*gml_id);
+    if (!id_map.emplace(key, node).second) {
+      throw std::runtime_error("GML: duplicate node id " +
+                               std::to_string(key));
+    }
+    if (get_number(record, "broken").value_or(0.0) != 0.0) {
+      g.node(node).broken = true;
+    }
+  }
+  for (const auto& [kind, record] : blocks) {
+    if (kind != "edge") continue;
+    const auto source = get_number(record, "source");
+    const auto target = get_number(record, "target");
+    if (!source || !target) {
+      throw std::runtime_error("GML: edge without source/target");
+    }
+    const auto su = id_map.find(static_cast<long long>(*source));
+    const auto sv = id_map.find(static_cast<long long>(*target));
+    if (su == id_map.end() || sv == id_map.end()) {
+      throw std::runtime_error("GML: edge references unknown node");
+    }
+    if (su->second == sv->second) continue;               // drop self-loops
+    if (g.find_edge(su->second, sv->second) != kInvalidEdge) continue;  // dedupe
+    const double capacity =
+        get_number(record, "capacity")
+            .value_or(get_number(record, "LinkSpeed")
+                          .value_or(options.default_capacity));
+    const double cost =
+        get_number(record, "cost").value_or(options.default_repair_cost);
+    const EdgeId edge = g.add_edge(su->second, sv->second, capacity, cost);
+    if (get_number(record, "broken").value_or(0.0) != 0.0) {
+      g.edge(edge).broken = true;
+    }
+  }
+  return g;
+}
+
+Graph load_gml_file(const std::string& path, const GmlOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("GML: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_gml(buffer.str(), options);
+}
+
+std::string to_gml(const Graph& g) {
+  std::ostringstream out;
+  out << "graph [\n  directed 0\n";
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const Node& n = g.node(static_cast<NodeId>(i));
+    out << "  node [\n    id " << i << "\n    label \"" << n.name
+        << "\"\n    x " << n.x << "\n    y " << n.y << "\n    cost "
+        << n.repair_cost << "\n    broken " << (n.broken ? 1 : 0)
+        << "\n  ]\n";
+  }
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const Edge& e = g.edge(static_cast<EdgeId>(i));
+    out << "  edge [\n    source " << e.u << "\n    target " << e.v
+        << "\n    capacity " << e.capacity << "\n    cost " << e.repair_cost
+        << "\n    broken " << (e.broken ? 1 : 0) << "\n  ]\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+void save_gml_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("GML: cannot write '" + path + "'");
+  out << to_gml(g);
+}
+
+}  // namespace netrec::graph

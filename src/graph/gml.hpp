@@ -1,0 +1,38 @@
+// Minimal GML (Graph Modelling Language) reader/writer.
+//
+// The Internet Topology Zoo and CAIDA exports used by the paper ship as GML.
+// This parser covers the subset those files use: a `graph [...]` block with
+// `node [ id ... label ... ]` and `edge [ source ... target ... ]` records,
+// scalar attributes (quoted strings, ints, floats) and nested blocks (which
+// are skipped).  Unknown attributes are ignored; `Longitude`/`Latitude` (or
+// `x`/`y`) populate node coordinates, `capacity`/`LinkSpeed` populate edge
+// capacity, `cost` the repair cost.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace netrec::graph {
+
+struct GmlOptions {
+  double default_capacity = 1.0;
+  double default_repair_cost = 1.0;
+};
+
+/// Parses GML text; throws std::runtime_error with a line-ish context on
+/// malformed input (unbalanced brackets, edges naming unknown nodes, ...).
+Graph parse_gml(const std::string& text, const GmlOptions& options = {});
+
+/// Loads and parses a .gml file.
+Graph load_gml_file(const std::string& path, const GmlOptions& options = {});
+
+/// Serialises the graph (topology, coordinates, capacity, repair cost,
+/// broken flags) so experiments can snapshot their inputs.
+std::string to_gml(const Graph& g);
+
+/// Writes to_gml(g) to `path`; throws on I/O failure.
+void save_gml_file(const Graph& g, const std::string& path);
+
+}  // namespace netrec::graph

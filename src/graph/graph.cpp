@@ -1,0 +1,142 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netrec::graph {
+
+NodeId Graph::add_node(std::string name, double x, double y,
+                       double repair_cost) {
+  Node n;
+  n.name = std::move(name);
+  n.x = x;
+  n.y = y;
+  n.repair_cost = repair_cost;
+  nodes_.push_back(std::move(n));
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double capacity,
+                       double repair_cost) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("Graph: self-loops not supported");
+  if (find_edge(u, v) != kInvalidEdge) {
+    throw std::invalid_argument("Graph: parallel edge between " +
+                                std::to_string(u) + " and " +
+                                std::to_string(v));
+  }
+  if (capacity < 0.0) throw std::invalid_argument("Graph: negative capacity");
+  Edge e;
+  e.u = u;
+  e.v = v;
+  e.capacity = capacity;
+  e.repair_cost = repair_cost;
+  edges_.push_back(e);
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  adjacency_[static_cast<std::size_t>(u)].push_back(id);
+  adjacency_[static_cast<std::size_t>(v)].push_back(id);
+  return id;
+}
+
+NodeId Graph::other_endpoint(EdgeId edge_id, NodeId from) const {
+  const Edge& e = edge(edge_id);
+  if (e.u == from) return e.v;
+  if (e.v == from) return e.u;
+  throw std::invalid_argument("Graph: node " + std::to_string(from) +
+                              " is not an endpoint of edge " +
+                              std::to_string(edge_id));
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  // Search from the lower-degree endpoint.
+  const NodeId base = degree(u) <= degree(v) ? u : v;
+  const NodeId target = base == u ? v : u;
+  for (EdgeId id : adjacency_[static_cast<std::size_t>(base)]) {
+    if (other_endpoint(id, base) == target) return id;
+  }
+  return kInvalidEdge;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return best;
+}
+
+void Graph::break_everything() {
+  for (auto& n : nodes_) n.broken = true;
+  for (auto& e : edges_) e.broken = true;
+}
+
+void Graph::repair_everything() {
+  for (auto& n : nodes_) n.broken = false;
+  for (auto& e : edges_) e.broken = false;
+}
+
+std::vector<NodeId> Graph::broken_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].broken) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<EdgeId> Graph::broken_edges() const {
+  std::vector<EdgeId> out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].broken) out.push_back(static_cast<EdgeId>(i));
+  }
+  return out;
+}
+
+std::size_t Graph::num_broken_nodes() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.broken; }));
+}
+
+std::size_t Graph::num_broken_edges() const {
+  return static_cast<std::size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [](const Edge& e) { return e.broken; }));
+}
+
+bool Graph::edge_usable(EdgeId id) const {
+  const Edge& e = edge(id);
+  return !e.broken && !node(e.u).broken && !node(e.v).broken;
+}
+
+double Graph::total_repair_cost() const {
+  double cost = 0.0;
+  for (const auto& n : nodes_) {
+    if (n.broken) cost += n.repair_cost;
+  }
+  for (const auto& e : edges_) {
+    if (e.broken) cost += e.repair_cost;
+  }
+  return cost;
+}
+
+void Graph::check_node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::invalid_argument("Graph: node id " + std::to_string(id) +
+                                " out of range");
+  }
+}
+
+void Graph::check_edge(EdgeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= edges_.size()) {
+    throw std::invalid_argument("Graph: edge id " + std::to_string(id) +
+                                " out of range");
+  }
+}
+
+EdgeFilter working_edge_filter(const Graph& g) {
+  return [&g](EdgeId id) { return g.edge_usable(id); };
+}
+
+}  // namespace netrec::graph

@@ -1,0 +1,124 @@
+// Undirected capacitated multigraph — the supply-network substrate.
+//
+// Matches the paper's model (Section III): the supply graph G = (V, E) has
+// per-edge capacities c_ij and per-element repair costs k^v_i / k^e_ij;
+// disruption marks subsets V_B / E_B broken.  Nodes carry coordinates so the
+// geographically-correlated disruption models (Section VII-A3) can be applied.
+//
+// The class stores full topology including broken elements: ISP's centrality
+// (eq. 3) is computed on the complete graph, while routing runs on the
+// working subgraph.  Algorithms therefore take explicit usability filters
+// rather than operating on a mutated copy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace netrec::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+struct Node {
+  std::string name;
+  double x = 0.0;  ///< geographic coordinate (used by disruption models)
+  double y = 0.0;
+  double repair_cost = 1.0;  ///< k^v_i
+  bool broken = false;       ///< i in V_B
+};
+
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double capacity = 0.0;     ///< c_ij
+  double repair_cost = 1.0;  ///< k^e_ij
+  bool broken = false;       ///< (i,j) in E_B
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds an isolated node; returns its id (ids are dense, 0-based).
+  NodeId add_node(std::string name = {}, double x = 0.0, double y = 0.0,
+                  double repair_cost = 1.0);
+
+  /// Adds an undirected edge; parallel edges and self-loops are rejected
+  /// (the paper's model has neither).  Returns the new edge id.
+  EdgeId add_edge(NodeId u, NodeId v, double capacity,
+                  double repair_cost = 1.0);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const Edge& edge(EdgeId id) const { return edges_[static_cast<std::size_t>(id)]; }
+  Edge& edge(EdgeId id) { return edges_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids incident to `node`, in insertion order.
+  const std::vector<EdgeId>& incident_edges(NodeId node) const {
+    return adjacency_[static_cast<std::size_t>(node)];
+  }
+
+  /// The endpoint of `edge` that is not `from`.
+  NodeId other_endpoint(EdgeId edge, NodeId from) const;
+
+  /// First edge between u and v (either orientation), or kInvalidEdge.
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// Degree counting all incident edges (broken included).
+  std::size_t degree(NodeId node) const {
+    return adjacency_[static_cast<std::size_t>(node)].size();
+  }
+
+  /// Maximum degree over all nodes (the paper's eta_max).
+  std::size_t max_degree() const;
+
+  // --- disruption bookkeeping -------------------------------------------
+
+  /// Marks every node and edge broken (the "complete destruction" scenario).
+  void break_everything();
+
+  /// Restores every element to working state.
+  void repair_everything();
+
+  std::vector<NodeId> broken_nodes() const;
+  std::vector<EdgeId> broken_edges() const;
+  std::size_t num_broken_nodes() const;
+  std::size_t num_broken_edges() const;
+
+  /// An edge is usable iff itself and both endpoints are working.
+  bool edge_usable(EdgeId id) const;
+
+  /// Sum of repair costs over all broken elements (cost of the ALL policy).
+  double total_repair_cost() const;
+
+  /// Throws std::invalid_argument if any id is out of range (debug aid).
+  void check_node(NodeId id) const;
+  void check_edge(EdgeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+/// Predicate types used by the traversal/flow algorithms.  A default-
+/// constructed filter accepts everything.
+using NodeFilter = std::function<bool(NodeId)>;
+using EdgeFilter = std::function<bool(EdgeId)>;
+using EdgeWeight = std::function<double(EdgeId)>;
+
+/// Filter matching the working subgraph G(n): broken elements excluded.
+EdgeFilter working_edge_filter(const Graph& g);
+
+}  // namespace netrec::graph

@@ -1,0 +1,41 @@
+// Dinic maximum flow on the undirected supply graph.
+//
+// ISP uses s-t max flows in two places: the split-demand selection
+// (decision 1, f*(i,j) on the full graph) and the prune amount
+// (Theorem 3, max flow inside a bubble).  Undirected edges are modelled as
+// opposite arc pairs each carrying the full edge capacity; the reported
+// per-edge flow is net (opposite directions cancelled), so a flow
+// decomposition into simple paths always exists.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace netrec::graph {
+
+struct MaxflowResult {
+  double value = 0.0;
+  /// Signed net flow per original edge id; positive means u -> v.
+  /// Edges excluded by the filter carry 0.
+  std::vector<double> edge_flow;
+};
+
+/// Max flow from `source` to `sink`.  `capacity` supplies per-edge capacity
+/// (residual capacities during ISP differ from static ones); filters restrict
+/// the network (e.g. to working elements, or to a bubble's node set).
+MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
+                       const EdgeWeight& capacity,
+                       const EdgeFilter& edge_ok = {},
+                       const NodeFilter& node_ok = {});
+
+/// Decomposes a net edge flow (as produced by max_flow) into simple paths
+/// with positive amounts summing to the flow value.  The input flow must be
+/// conserved at every node other than source/sink.
+std::vector<std::pair<Path, double>> decompose_flow(
+    const Graph& g, NodeId source, NodeId sink,
+    const std::vector<double>& edge_flow);
+
+}  // namespace netrec::graph

@@ -1,0 +1,85 @@
+#include "graph/simple_paths.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+
+namespace netrec::graph {
+
+namespace {
+
+void dfs_paths(const Graph& g, NodeId at, NodeId t,
+               const SimplePathLimits& limits, const EdgeFilter& edge_ok,
+               const NodeFilter& node_ok, std::vector<char>& on_path,
+               Path& current, std::vector<Path>& out) {
+  if (out.size() >= limits.max_paths) return;
+  if (at == t) {
+    out.push_back(current);
+    return;
+  }
+  if (current.edges.size() >= limits.max_hops) return;
+  for (EdgeId e : g.incident_edges(at)) {
+    if (edge_ok && !edge_ok(e)) continue;
+    const NodeId next = g.other_endpoint(e, at);
+    if (on_path[static_cast<std::size_t>(next)]) continue;
+    if (node_ok && !node_ok(next) && next != t) continue;
+    on_path[static_cast<std::size_t>(next)] = 1;
+    current.edges.push_back(e);
+    dfs_paths(g, next, t, limits, edge_ok, node_ok, on_path, current, out);
+    current.edges.pop_back();
+    on_path[static_cast<std::size_t>(next)] = 0;
+    if (out.size() >= limits.max_paths) return;
+  }
+}
+
+}  // namespace
+
+std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                   const SimplePathLimits& limits,
+                                   const EdgeFilter& edge_ok,
+                                   const NodeFilter& node_ok) {
+  g.check_node(s);
+  g.check_node(t);
+  std::vector<Path> out;
+  if (s == t) return out;
+  std::vector<char> on_path(g.num_nodes(), 0);
+  on_path[static_cast<std::size_t>(s)] = 1;
+  Path current;
+  current.start = s;
+  dfs_paths(g, s, t, limits, edge_ok, node_ok, on_path, current, out);
+  return out;
+}
+
+SuccessivePathsResult successive_shortest_paths(
+    const Graph& g, NodeId s, NodeId t, double demand,
+    const EdgeWeight& length, const EdgeWeight& capacity,
+    const EdgeFilter& edge_ok, const NodeFilter& node_ok,
+    std::size_t max_paths) {
+  SuccessivePathsResult result;
+  std::vector<double> residual(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    residual[e] = capacity(static_cast<EdgeId>(e));
+  }
+  constexpr double kEps = 1e-9;
+  auto usable = [&](EdgeId e) {
+    if (residual[static_cast<std::size_t>(e)] <= kEps) return false;
+    return !edge_ok || edge_ok(e);
+  };
+  while (result.total_capacity < demand - kEps &&
+         result.paths.size() < max_paths) {
+    auto path = shortest_path(g, s, t, length, usable, node_ok);
+    if (!path) break;
+    const double cap = path->capacity(
+        [&](EdgeId e) { return residual[static_cast<std::size_t>(e)]; });
+    if (cap <= kEps) break;
+    // Remove the chosen path's bottleneck from every edge on it (Section
+    // IV-B: "reduce the capacity of p by c(p)").
+    for (EdgeId e : path->edges) residual[static_cast<std::size_t>(e)] -= cap;
+    result.total_capacity += cap;
+    result.capacities.push_back(cap);
+    result.paths.push_back(std::move(*path));
+  }
+  return result;
+}
+
+}  // namespace netrec::graph

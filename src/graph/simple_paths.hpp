@@ -1,0 +1,54 @@
+// Bounded enumeration of simple paths, and successive-shortest-path sets.
+//
+// The greedy heuristics (Section VI-C) need "the set P(H,G) of all simple
+// paths between the demand pairs".  That set is exponential, so — exactly as
+// the paper concedes ("these heuristics can only be adopted if paths are
+// pre-computed offline", and they are skipped on large topologies) — the
+// enumeration takes hard limits on path count and hop length.
+//
+// successive_shortest_paths implements the paper's P̂*(i,j) estimate
+// (Section IV-B): repeatedly take the shortest path, then remove its
+// bottleneck capacity from the residual view, until accumulated path
+// capacity covers the demand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace netrec::graph {
+
+struct SimplePathLimits {
+  std::size_t max_paths = 10'000;  ///< stop after this many paths
+  std::size_t max_hops = 32;       ///< skip longer paths
+};
+
+/// All simple paths between s and t (DFS), subject to limits.  Paths are
+/// emitted in DFS order; callers typically re-sort by their own weight.
+std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                   const SimplePathLimits& limits = {},
+                                   const EdgeFilter& edge_ok = {},
+                                   const NodeFilter& node_ok = {});
+
+struct SuccessivePathsResult {
+  std::vector<Path> paths;
+  /// Residual capacity of each path at the time it was selected; the
+  /// centrality share c(p) of eq. (3) uses exactly these values.
+  std::vector<double> capacities;
+  /// Sum of `capacities`; >= demand iff the demand is coverable.
+  double total_capacity = 0.0;
+};
+
+/// P̂*(s,t): shortest paths (under `length`) collected until their combined
+/// capacity reaches `demand`, reducing each chosen path's bottleneck from a
+/// residual copy of `capacity` between iterations.  Stops early when s and t
+/// disconnect; `max_paths` guards pathological instances.
+SuccessivePathsResult successive_shortest_paths(
+    const Graph& g, NodeId s, NodeId t, double demand,
+    const EdgeWeight& length, const EdgeWeight& capacity,
+    const EdgeFilter& edge_ok = {}, const NodeFilter& node_ok = {},
+    std::size_t max_paths = 64);
+
+}  // namespace netrec::graph

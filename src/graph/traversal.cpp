@@ -1,0 +1,106 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace netrec::graph {
+
+std::vector<int> bfs_hops(const Graph& g, NodeId source,
+                          const EdgeFilter& edge_ok,
+                          const NodeFilter& node_ok) {
+  std::vector<int> dist(g.num_nodes(), -1);
+  g.check_node(source);
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId at = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.incident_edges(at)) {
+      if (edge_ok && !edge_ok(e)) continue;
+      const NodeId next = g.other_endpoint(e, at);
+      if (dist[static_cast<std::size_t>(next)] != -1) continue;
+      if (node_ok && !node_ok(next)) continue;
+      dist[static_cast<std::size_t>(next)] =
+          dist[static_cast<std::size_t>(at)] + 1;
+      queue.push_back(next);
+    }
+  }
+  return dist;
+}
+
+bool reachable(const Graph& g, NodeId source, NodeId target,
+               const EdgeFilter& edge_ok, const NodeFilter& node_ok) {
+  if (source == target) return true;
+  const auto dist = bfs_hops(g, source, edge_ok, node_ok);
+  return dist[static_cast<std::size_t>(target)] != -1;
+}
+
+std::vector<int> connected_components(const Graph& g,
+                                      const EdgeFilter& edge_ok,
+                                      const NodeFilter& node_ok) {
+  std::vector<int> label(g.num_nodes(), -1);
+  int next_label = 0;
+  for (std::size_t start = 0; start < g.num_nodes(); ++start) {
+    if (label[start] != -1) continue;
+    if (node_ok && !node_ok(static_cast<NodeId>(start))) continue;
+    label[start] = next_label;
+    std::deque<NodeId> queue{static_cast<NodeId>(start)};
+    while (!queue.empty()) {
+      const NodeId at = queue.front();
+      queue.pop_front();
+      for (EdgeId e : g.incident_edges(at)) {
+        if (edge_ok && !edge_ok(e)) continue;
+        const NodeId to = g.other_endpoint(e, at);
+        if (label[static_cast<std::size_t>(to)] != -1) continue;
+        if (node_ok && !node_ok(to)) continue;
+        label[static_cast<std::size_t>(to)] = next_label;
+        queue.push_back(to);
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+std::vector<NodeId> giant_component(const Graph& g, const EdgeFilter& edge_ok,
+                                    const NodeFilter& node_ok) {
+  const auto label = connected_components(g, edge_ok, node_ok);
+  int max_label = -1;
+  for (int l : label) max_label = std::max(max_label, l);
+  if (max_label < 0) return {};
+  std::vector<std::size_t> size(static_cast<std::size_t>(max_label) + 1, 0);
+  for (int l : label) {
+    if (l >= 0) ++size[static_cast<std::size_t>(l)];
+  }
+  const auto best = static_cast<int>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    if (label[i] == best) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+int hop_diameter(const Graph& g, const EdgeFilter& edge_ok) {
+  int diameter = 0;
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    const auto dist = bfs_hops(g, static_cast<NodeId>(s), edge_ok);
+    for (int d : dist) {
+      if (d == -1) return -1;
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g,
+                                             const EdgeFilter& edge_ok) {
+  std::vector<std::vector<int>> out;
+  out.reserve(g.num_nodes());
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    out.push_back(bfs_hops(g, static_cast<NodeId>(s), edge_ok));
+  }
+  return out;
+}
+
+}  // namespace netrec::graph

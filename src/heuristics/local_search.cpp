@@ -1,0 +1,112 @@
+#include "heuristics/local_search.hpp"
+
+#include <algorithm>
+
+#include "core/repair_state.hpp"
+#include "mcf/routing.hpp"
+#include "util/timer.hpp"
+
+namespace netrec::heuristics {
+
+namespace {
+
+/// A repair-set element, node or edge.
+struct Element {
+  bool is_node;
+  int id;
+  double cost;
+};
+
+}  // namespace
+
+core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
+                                      const core::RecoverySolution& solution,
+                                      const LocalSearchOptions& options) {
+  util::Timer timer;
+  const graph::Graph& g = problem.graph;
+  const auto cap = mcf::static_capacity(g);
+
+  // Keep flags; start from the input repair set.
+  std::vector<char> node_kept(g.num_nodes(), 0);
+  std::vector<char> edge_kept(g.num_edges(), 0);
+  for (graph::NodeId n : solution.repaired_nodes) {
+    node_kept[static_cast<std::size_t>(n)] = 1;
+  }
+  for (graph::EdgeId e : solution.repaired_edges) {
+    edge_kept[static_cast<std::size_t>(e)] = 1;
+  }
+
+  auto edge_ok = [&](graph::EdgeId e) {
+    const graph::Edge& edge = g.edge(e);
+    if (edge.broken && !edge_kept[static_cast<std::size_t>(e)]) return false;
+    if (g.node(edge.u).broken && !node_kept[static_cast<std::size_t>(edge.u)]) {
+      return false;
+    }
+    if (g.node(edge.v).broken && !node_kept[static_cast<std::size_t>(edge.v)]) {
+      return false;
+    }
+    return true;
+  };
+  auto routable = [&]() {
+    return mcf::is_routable(g, problem.demands, edge_ok, cap, options.lp);
+  };
+
+  // Only meaningful when the input already satisfies the demand; otherwise
+  // dropping repairs can only make things worse.
+  const bool baseline_routable = routable();
+  core::RecoverySolution reduced = solution;
+  if (baseline_routable) {
+    // Candidates most-expensive-first; within ties, later repairs first
+    // (they are more often redundant leftovers).
+    std::vector<Element> elements;
+    for (auto it = solution.repaired_edges.rbegin();
+         it != solution.repaired_edges.rend(); ++it) {
+      elements.push_back(Element{false, *it, g.edge(*it).repair_cost});
+    }
+    for (auto it = solution.repaired_nodes.rbegin();
+         it != solution.repaired_nodes.rend(); ++it) {
+      elements.push_back(Element{true, *it, g.node(*it).repair_cost});
+    }
+    std::stable_sort(elements.begin(), elements.end(),
+                     [](const Element& a, const Element& b) {
+                       return a.cost > b.cost;
+                     });
+
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+      bool dropped = false;
+      for (const Element& el : elements) {
+        auto& flag = el.is_node ? node_kept[static_cast<std::size_t>(el.id)]
+                                : edge_kept[static_cast<std::size_t>(el.id)];
+        if (!flag) continue;
+        flag = 0;
+        if (routable()) {
+          dropped = true;
+        } else {
+          flag = 1;  // needed after all
+        }
+      }
+      if (!dropped) break;
+    }
+
+    reduced.repaired_nodes.clear();
+    reduced.repaired_edges.clear();
+    // Preserve the original repair order for the surviving elements.
+    for (graph::NodeId n : solution.repaired_nodes) {
+      if (node_kept[static_cast<std::size_t>(n)]) {
+        reduced.repaired_nodes.push_back(n);
+      }
+    }
+    for (graph::EdgeId e : solution.repaired_edges) {
+      if (edge_kept[static_cast<std::size_t>(e)]) {
+        reduced.repaired_edges.push_back(e);
+      }
+    }
+  }
+
+  reduced.algorithm = solution.algorithm + "+LS";
+  core::score_solution(problem, reduced);
+  reduced.wall_seconds = solution.wall_seconds + timer.elapsed_seconds();
+  return reduced;
+}
+
+}  // namespace netrec::heuristics

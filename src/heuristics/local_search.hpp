@@ -1,0 +1,26 @@
+// Redundant-repair elimination.
+//
+// Given any feasible repair set, repeatedly drop elements whose removal
+// keeps the demand routable (most expensive first, newest first on ties).
+// Polynomial (one routability test per candidate per pass) and never hurts:
+// used to tighten ISP's output into the incumbent that seeds OPT's
+// branch-and-bound, and as the final polish on every OPT result.
+#pragma once
+
+#include "core/problem.hpp"
+#include "mcf/path_lp.hpp"
+
+namespace netrec::heuristics {
+
+struct LocalSearchOptions {
+  std::size_t max_passes = 3;
+  mcf::PathLpOptions lp;
+};
+
+/// Returns a solution whose repair set is a (weak) subset of the input's,
+/// rescored; the algorithm label gains a "+LS" suffix.
+core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
+                                      const core::RecoverySolution& solution,
+                                      const LocalSearchOptions& options = {});
+
+}  // namespace netrec::heuristics

@@ -1,0 +1,27 @@
+// Multi-commodity relaxation driver (paper Section VI-A, Fig. 3).
+//
+// Solves eq. (8) and reports the repair-count band of its optimal face: MCB
+// (fewest repairs seen) and MCW (most).  The paper uses this to argue the
+// relaxation is unreliable as a recovery policy — its equally-optimal
+// solutions range from near-OPT to near-ALL; we reproduce that band by
+// sampling the face (finding the true MCB is NP-hard, as the paper notes).
+#pragma once
+
+#include "core/problem.hpp"
+#include "mcf/broken_usage.hpp"
+#include "util/rng.hpp"
+
+namespace netrec::heuristics {
+
+struct MulticommodityBand {
+  bool feasible = false;
+  std::size_t mcb_repairs = 0;  ///< best (fewest) repairs on the face
+  std::size_t mcw_repairs = 0;  ///< worst (most) repairs on the face
+  double relaxation_cost = 0.0; ///< eq. (8) optimum
+};
+
+MulticommodityBand multicommodity_band(const core::RecoveryProblem& problem,
+                                       std::size_t samples, util::Rng& rng,
+                                       const mcf::PathLpOptions& lp = {});
+
+}  // namespace netrec::heuristics

@@ -1,0 +1,189 @@
+#include "heuristics/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/repair_state.hpp"
+#include "graph/dijkstra.hpp"
+#include "mcf/routing.hpp"
+
+namespace netrec::heuristics {
+
+double RecoverySchedule::restoration_auc() const {
+  if (steps.empty() || total_demand <= 0.0) return 1.0;
+  double area = 0.0;
+  for (const ScheduleStep& step : steps) {
+    area += step.restored_after / total_demand;
+  }
+  return area / static_cast<double>(steps.size());
+}
+
+std::size_t RecoverySchedule::steps_to_restore(double fraction) const {
+  const double target = fraction * total_demand - 1e-9;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].restored_after >= target) return i + 1;
+  }
+  return steps.size() + 1;
+}
+
+namespace {
+
+std::string node_label(const graph::Graph& g, graph::NodeId n) {
+  return "site " + (g.node(n).name.empty() ? std::to_string(n)
+                                           : g.node(n).name);
+}
+
+std::string edge_label(const graph::Graph& g, graph::EdgeId e) {
+  const auto& edge = g.edge(e);
+  auto name = [&](graph::NodeId n) {
+    return g.node(n).name.empty() ? std::to_string(n) : g.node(n).name;
+  };
+  return "link " + name(edge.u) + " - " + name(edge.v);
+}
+
+}  // namespace
+
+RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
+                                  const core::RecoverySolution& solution,
+                                  const ScheduleOptions& options) {
+  const graph::Graph& g = problem.graph;
+  RecoverySchedule schedule;
+  schedule.total_demand = problem.total_demand();
+
+  // Membership of the repair set, and what has been scheduled so far.
+  std::vector<char> node_in_set(g.num_nodes(), 0);
+  std::vector<char> edge_in_set(g.num_edges(), 0);
+  for (graph::NodeId n : solution.repaired_nodes) {
+    node_in_set[static_cast<std::size_t>(n)] = 1;
+  }
+  for (graph::EdgeId e : solution.repaired_edges) {
+    edge_in_set[static_cast<std::size_t>(e)] = 1;
+  }
+  core::RepairState scheduled(g);
+  std::size_t remaining = solution.total_repairs();
+
+  const auto cap = mcf::static_capacity(g);
+  auto scheduled_filter = [&](graph::EdgeId e) { return scheduled.edge_ok(e); };
+  auto restored_now = [&]() {
+    if (options.exact_scoring) {
+      return mcf::max_routed_flow(g, problem.demands, scheduled_filter, cap,
+                                  options.lp)
+          .total_routed;
+    }
+    return mcf::greedy_route(g, problem.demands, scheduled_filter, cap)
+        .total_routed;
+  };
+
+  // Elements of the final (solution) subgraph: working plus the repair set.
+  auto node_available = [&](graph::NodeId n) {
+    return !g.node(n).broken || node_in_set[static_cast<std::size_t>(n)];
+  };
+  auto edge_available = [&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    if (edge.broken && !edge_in_set[static_cast<std::size_t>(e)]) return false;
+    return node_available(edge.u) && node_available(edge.v);
+  };
+  // Length = unscheduled repair work on the edge (edge + endpoint halves),
+  // with a small hop term so fully-scheduled paths still rank shortest.
+  auto pending_length = [&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    double w = 1e-3;
+    if (edge.broken && !scheduled.edge_repaired(e)) w += 1.0;
+    if (g.node(edge.u).broken && !scheduled.node_repaired(edge.u)) w += 0.5;
+    if (g.node(edge.v).broken && !scheduled.node_repaired(edge.v)) w += 0.5;
+    return w;
+  };
+
+  auto emit = [&](bool is_node, graph::NodeId n, graph::EdgeId e) {
+    const bool changed =
+        is_node ? scheduled.repair_node(n) : scheduled.repair_edge(e);
+    if (!changed) return;
+    --remaining;
+    ScheduleStep step;
+    step.is_node = is_node;
+    step.node = n;
+    step.edge = e;
+    step.label = is_node ? node_label(g, n) : edge_label(g, e);
+    step.restored_after = restored_now();
+    schedule.steps.push_back(std::move(step));
+  };
+
+  // Route-oriented greedy: repeatedly complete the route with the best
+  // demand-per-remaining-repair ratio, so service restoration front-loads.
+  std::size_t guard = 0;
+  while (remaining > 0 && guard++ < solution.total_repairs() + 8) {
+    const auto routed =
+        mcf::greedy_route(g, problem.demands, scheduled_filter, cap);
+    // Pick the most valuable unsatisfied demand per unit of pending work.
+    int best_demand = -1;
+    double best_ratio = -1.0;
+    graph::Path best_path;
+    for (std::size_t h = 0; h < problem.demands.size(); ++h) {
+      const auto& d = problem.demands[h];
+      const double deficit = d.amount - routed.routed[h];
+      if (deficit <= 1e-9 || d.source == d.target) continue;
+      auto path = graph::shortest_path(g, d.source, d.target, pending_length,
+                                       edge_available);
+      if (!path) continue;
+      const double pending = path->length(pending_length);
+      const double ratio = deficit / (1.0 + pending);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_demand = static_cast<int>(h);
+        best_path = std::move(*path);
+      }
+    }
+    if (best_demand < 0) break;  // every demand satisfied or unreachable
+
+    // Schedule the chosen route's pending elements in travel order.
+    graph::NodeId at = best_path.start;
+    emit(true, at, graph::kInvalidEdge);
+    for (graph::EdgeId e : best_path.edges) {
+      emit(false, graph::kInvalidNode, e);
+      at = g.other_endpoint(e, at);
+      emit(true, at, graph::kInvalidEdge);
+    }
+  }
+
+  // Leftovers (capacity relief repairs not on any single route): cheapest
+  // first, then original order.
+  struct Leftover {
+    bool is_node;
+    int id;
+    double cost;
+  };
+  std::vector<Leftover> leftovers;
+  for (graph::NodeId n : solution.repaired_nodes) {
+    if (!scheduled.node_repaired(n)) {
+      leftovers.push_back({true, n, g.node(n).repair_cost});
+    }
+  }
+  for (graph::EdgeId e : solution.repaired_edges) {
+    if (!scheduled.edge_repaired(e)) {
+      leftovers.push_back({false, e, g.edge(e).repair_cost});
+    }
+  }
+  std::stable_sort(leftovers.begin(), leftovers.end(),
+                   [](const Leftover& a, const Leftover& b) {
+                     return a.cost < b.cost;
+                   });
+  for (const Leftover& l : leftovers) {
+    if (l.is_node) {
+      emit(true, static_cast<graph::NodeId>(l.id), graph::kInvalidEdge);
+    } else {
+      emit(false, graph::kInvalidNode, static_cast<graph::EdgeId>(l.id));
+    }
+  }
+
+  // The final point is always scored exactly, so the schedule's endpoint
+  // agrees with the solution's referee satisfaction.
+  if (!schedule.steps.empty()) {
+    schedule.steps.back().restored_after =
+        mcf::max_routed_flow(g, problem.demands, scheduled_filter, cap,
+                             options.lp)
+            .total_routed;
+  }
+  return schedule;
+}
+
+}  // namespace netrec::heuristics

@@ -1,0 +1,120 @@
+#include "mcf/routing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/dijkstra.hpp"
+#include "graph/simple_paths.hpp"
+#include "graph/traversal.hpp"
+
+namespace netrec::mcf {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+graph::EdgeWeight static_capacity(const graph::Graph& g) {
+  return [&g](graph::EdgeId e) { return g.edge(e).capacity; };
+}
+
+RoutingResult greedy_route(const graph::Graph& g,
+                           const std::vector<Demand>& demands,
+                           const graph::EdgeFilter& edge_ok,
+                           const graph::EdgeWeight& capacity) {
+  RoutingResult result;
+  result.routed.assign(demands.size(), 0.0);
+
+  std::vector<double> residual(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    residual[e] = capacity(static_cast<graph::EdgeId>(e));
+  }
+  auto residual_view = [&](graph::EdgeId e) {
+    return residual[static_cast<std::size_t>(e)];
+  };
+  auto usable = [&](graph::EdgeId e) {
+    if (residual[static_cast<std::size_t>(e)] <= kEps) return false;
+    return !edge_ok || edge_ok(e);
+  };
+
+  // Largest demands first: they are the hardest to place.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a].amount > demands[b].amount;
+  });
+
+  for (std::size_t idx : order) {
+    const Demand& d = demands[idx];
+    if (d.amount <= kEps || d.source == d.target) {
+      result.routed[idx] = d.amount;
+      result.total_routed += d.amount;
+      continue;
+    }
+    double remaining = d.amount;
+    while (remaining > kEps) {
+      auto sp = graph::shortest_path(
+          g, d.source, d.target, [](graph::EdgeId) { return 1.0; }, usable);
+      if (!sp) break;
+      const double cap = sp->capacity(residual_view);
+      if (cap <= kEps) break;
+      const double amount = std::min(cap, remaining);
+      for (graph::EdgeId e : sp->edges) {
+        residual[static_cast<std::size_t>(e)] -= amount;
+      }
+      PathFlow flow;
+      flow.demand_index = static_cast<int>(idx);
+      flow.path = std::move(*sp);
+      flow.amount = amount;
+      result.flows.push_back(std::move(flow));
+      remaining -= amount;
+    }
+    result.routed[idx] = d.amount - remaining;
+    result.total_routed += result.routed[idx];
+  }
+  result.fully_routed =
+      result.total_routed >= total_demand(demands) - 1e-6;
+  return result;
+}
+
+RoutingResult max_routed_flow(const graph::Graph& g,
+                              const std::vector<Demand>& demands,
+                              const graph::EdgeFilter& edge_ok,
+                              const graph::EdgeWeight& capacity,
+                              const PathLpOptions& options) {
+  PathLp lp(g, demands, edge_ok, capacity, options);
+  lp.set_max_routed();
+  PathLpResult r = lp.solve();
+  return std::move(r.routing);
+}
+
+RoutingResult route_demands(const graph::Graph& g,
+                            const std::vector<Demand>& demands,
+                            const graph::EdgeFilter& edge_ok,
+                            const graph::EdgeWeight& capacity,
+                            const PathLpOptions& options) {
+  // Necessary condition, fast: endpoints connected under the filter.
+  for (const Demand& d : demands) {
+    if (d.amount <= kEps || d.source == d.target) continue;
+    if (!graph::reachable(g, d.source, d.target, [&](graph::EdgeId e) {
+          if (edge_ok && !edge_ok(e)) return false;
+          return capacity(e) > kEps;
+        })) {
+      RoutingResult result;
+      result.routed.assign(demands.size(), 0.0);
+      result.fully_routed = false;
+      return result;
+    }
+  }
+  RoutingResult greedy = greedy_route(g, demands, edge_ok, capacity);
+  if (greedy.fully_routed) return greedy;
+  return max_routed_flow(g, demands, edge_ok, capacity, options);
+}
+
+bool is_routable(const graph::Graph& g, const std::vector<Demand>& demands,
+                 const graph::EdgeFilter& edge_ok,
+                 const graph::EdgeWeight& capacity,
+                 const PathLpOptions& options) {
+  return route_demands(g, demands, edge_ok, capacity, options).fully_routed;
+}
+
+}  // namespace netrec::mcf

@@ -1,0 +1,49 @@
+// Routability tests and demand routing (paper Section IV-A).
+//
+// `route_demands` is the workhorse: it answers "can demand graph H be routed
+// over this (sub)graph with these capacities?" and, when the answer is yes,
+// produces a witness routing.  A greedy successive-shortest-path pre-pass
+// settles most YES instances without touching the LP; the column-generation
+// LP (PathLp, exact) decides the rest.  `max_routed_flow` is the referee
+// used to score demand loss for heuristics that cannot guarantee full
+// routing (SRT, GRD-COM).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "mcf/path_lp.hpp"
+#include "mcf/types.hpp"
+
+namespace netrec::mcf {
+
+/// Greedy sufficient check: routes demands one by one (largest first) with
+/// successive shortest paths on residual capacities.  fully_routed == true
+/// is a proof of routability; false proves nothing.
+RoutingResult greedy_route(const graph::Graph& g,
+                           const std::vector<Demand>& demands,
+                           const graph::EdgeFilter& edge_ok,
+                           const graph::EdgeWeight& capacity);
+
+/// Exact maximum total routed flow (LP optimum over all paths).
+RoutingResult max_routed_flow(const graph::Graph& g,
+                              const std::vector<Demand>& demands,
+                              const graph::EdgeFilter& edge_ok,
+                              const graph::EdgeWeight& capacity,
+                              const PathLpOptions& options = {});
+
+/// Routability with witness: greedy first, exact LP fallback.
+RoutingResult route_demands(const graph::Graph& g,
+                            const std::vector<Demand>& demands,
+                            const graph::EdgeFilter& edge_ok,
+                            const graph::EdgeWeight& capacity,
+                            const PathLpOptions& options = {});
+
+/// The paper's routability test (eq. 2): true iff the whole demand fits.
+bool is_routable(const graph::Graph& g, const std::vector<Demand>& demands,
+                 const graph::EdgeFilter& edge_ok,
+                 const graph::EdgeWeight& capacity,
+                 const PathLpOptions& options = {});
+
+/// Static capacities of the graph's edges (the default capacity view).
+graph::EdgeWeight static_capacity(const graph::Graph& g);
+
+}  // namespace netrec::mcf

@@ -1,0 +1,21 @@
+#include "mcf/split.hpp"
+
+#include <algorithm>
+
+namespace netrec::mcf {
+
+double max_splittable_amount(const graph::Graph& g,
+                             const std::vector<Demand>& demands,
+                             int split_index, graph::NodeId via,
+                             const graph::EdgeFilter& edge_ok,
+                             const graph::EdgeWeight& capacity,
+                             const PathLpOptions& options) {
+  PathLp lp(g, demands, edge_ok, capacity, options);
+  lp.set_max_split(split_index, via);
+  const PathLpResult result = lp.solve();
+  if (!result.routing.fully_routed) return 0.0;
+  const double cap = demands[static_cast<std::size_t>(split_index)].amount;
+  return std::clamp(result.objective, 0.0, cap);
+}
+
+}  // namespace netrec::mcf

@@ -1,0 +1,25 @@
+// ISP split-amount LP (paper Section IV-C, decision 2).
+//
+// Given the current demand set and a chosen demand h / via-node v_BC,
+// computes the largest dx such that replacing dx units of (s_h, t_h) with
+// (s_h, v_BC) and (v_BC, t_h) keeps the whole demand routable on the given
+// (typically full, residual-capacity) supply graph.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "mcf/path_lp.hpp"
+#include "mcf/types.hpp"
+
+namespace netrec::mcf {
+
+/// Returns dx in [0, demands[split_index].amount]; 0 when even the unsplit
+/// demand is not routable under the filter/capacities (ISP treats that as
+/// "pick a different candidate").
+double max_splittable_amount(const graph::Graph& g,
+                             const std::vector<Demand>& demands,
+                             int split_index, graph::NodeId via,
+                             const graph::EdgeFilter& edge_ok,
+                             const graph::EdgeWeight& capacity,
+                             const PathLpOptions& options = {});
+
+}  // namespace netrec::mcf

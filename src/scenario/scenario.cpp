@@ -1,0 +1,116 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+#include "util/log.hpp"
+
+namespace netrec::scenario {
+
+std::vector<mcf::Demand> far_apart_demands(const graph::Graph& g,
+                                           std::size_t pairs, double amount,
+                                           util::Rng& rng,
+                                           double min_distance_factor) {
+  const int diameter = graph::hop_diameter(g);
+  if (diameter < 0) {
+    throw std::invalid_argument("far_apart_demands: disconnected supply graph");
+  }
+  const int min_hops = static_cast<int>(
+      std::ceil(diameter * min_distance_factor));
+
+  // All admissible pairs.
+  const auto hops = graph::all_pairs_hops(g);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> admissible;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    for (std::size_t j = i + 1; j < g.num_nodes(); ++j) {
+      if (hops[i][j] >= min_hops) {
+        admissible.emplace_back(static_cast<graph::NodeId>(i),
+                                static_cast<graph::NodeId>(j));
+      }
+    }
+  }
+  std::shuffle(admissible.begin(), admissible.end(), rng);
+
+  // Prefer pairs with fresh endpoints so demands do not collapse onto a few
+  // hubs; relax the restriction when the graph runs out of fresh nodes.
+  std::vector<mcf::Demand> demands;
+  std::vector<char> used(g.num_nodes(), 0);
+  for (int pass = 0; pass < 2 && demands.size() < pairs; ++pass) {
+    for (const auto& [a, b] : admissible) {
+      if (demands.size() >= pairs) break;
+      if (pass == 0 && (used[static_cast<std::size_t>(a)] ||
+                        used[static_cast<std::size_t>(b)])) {
+        continue;
+      }
+      const bool duplicate =
+          std::any_of(demands.begin(), demands.end(), [&](const auto& d) {
+            return (d.source == a && d.target == b) ||
+                   (d.source == b && d.target == a);
+          });
+      if (duplicate) continue;
+      demands.push_back(mcf::Demand{a, b, amount});
+      used[static_cast<std::size_t>(a)] = 1;
+      used[static_cast<std::size_t>(b)] = 1;
+    }
+  }
+  if (demands.size() < pairs) {
+    NETREC_LOG(kWarn) << "far_apart_demands: only " << demands.size() << "/"
+                      << pairs << " pairs at distance >= " << min_hops;
+  }
+  return demands;
+}
+
+void record_solution(const core::RecoverySolution& solution,
+                     util::MetricSet& metrics) {
+  metrics.add("edge_repairs",
+              static_cast<double>(solution.repaired_edges.size()));
+  metrics.add("node_repairs",
+              static_cast<double>(solution.repaired_nodes.size()));
+  metrics.add("total_repairs", static_cast<double>(solution.total_repairs()));
+  metrics.add("repair_cost", solution.repair_cost);
+  metrics.add("satisfied_pct", solution.satisfied_fraction * 100.0);
+  metrics.add("wall_seconds", solution.wall_seconds);
+}
+
+AggregateResult run_experiment(
+    const ProblemFactory& factory,
+    const std::vector<std::pair<std::string, Algorithm>>& algorithms,
+    const RunnerOptions& options) {
+  AggregateResult out;
+  util::Rng master(options.seed);
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    util::Rng run_rng = master.fork();
+    core::RecoveryProblem problem = factory(run_rng);
+    if (options.require_feasible) {
+      std::size_t redraws = 0;
+      while (!problem.feasible_when_fully_repaired() &&
+             redraws++ < options.max_redraws) {
+        util::Rng retry_rng = master.fork();
+        problem = factory(retry_rng);
+      }
+      if (!problem.feasible_when_fully_repaired()) {
+        NETREC_LOG(kWarn) << "run " << run
+                          << ": no feasible draw found; skipping";
+        continue;
+      }
+    }
+    out.instance.add("broken_nodes",
+                     static_cast<double>(problem.graph.num_broken_nodes()));
+    out.instance.add("broken_edges",
+                     static_cast<double>(problem.graph.num_broken_edges()));
+    out.instance.add(
+        "broken_total",
+        static_cast<double>(problem.graph.num_broken_nodes() +
+                            problem.graph.num_broken_edges()));
+    for (const auto& [name, algorithm] : algorithms) {
+      const core::RecoverySolution solution = algorithm(problem);
+      record_solution(solution, out.per_algorithm[name]);
+    }
+    ++out.completed_runs;
+  }
+  return out;
+}
+
+}  // namespace netrec::scenario

@@ -1,0 +1,67 @@
+// Experiment scaffolding shared by the bench drivers (paper Section VII).
+//
+// Demand graphs follow the paper's construction: pairs sampled among nodes
+// whose hop distance is at least half the supply graph's diameter, each with
+// a fixed flow requirement.  The runner executes a named set of algorithms
+// over N seeded runs of a scenario factory and aggregates the Fig. 4-9
+// metrics (edge/node/total repairs, satisfied %, wall seconds).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netrec::scenario {
+
+/// Demand pairs at hop distance >= ceil(diameter * min_distance_factor),
+/// sampled without endpoint reuse while possible.  Throws when the graph is
+/// disconnected; returns fewer pairs when not enough far-apart pairs exist.
+std::vector<mcf::Demand> far_apart_demands(const graph::Graph& g,
+                                           std::size_t pairs, double amount,
+                                           util::Rng& rng,
+                                           double min_distance_factor = 0.5);
+
+/// One algorithm under test: takes the problem, returns a scored solution.
+using Algorithm =
+    std::function<core::RecoverySolution(const core::RecoveryProblem&)>;
+
+/// Builds the problem for one run (seeded independently per run).
+using ProblemFactory = std::function<core::RecoveryProblem(util::Rng&)>;
+
+struct RunnerOptions {
+  std::size_t runs = 20;    ///< the paper averages 20 runs
+  std::uint64_t seed = 42;
+  /// Redraw instances that are infeasible even under full repair (the
+  /// paper's scenarios are feasible by construction; at high demand
+  /// intensities random far-apart draws occasionally collide on a narrow
+  /// regional cut and are re-rolled, up to `max_redraws` per run).
+  bool require_feasible = false;
+  std::size_t max_redraws = 25;
+};
+
+struct AggregateResult {
+  /// metric -> stats; metrics: edge_repairs, node_repairs, total_repairs,
+  /// repair_cost, satisfied_pct, wall_seconds.
+  std::map<std::string, util::MetricSet> per_algorithm;
+  /// Averages of instance-level metrics (broken counts etc.).
+  util::MetricSet instance;
+  std::size_t completed_runs = 0;
+};
+
+/// Runs every algorithm on `runs` seeded instances and aggregates metrics.
+AggregateResult run_experiment(
+    const ProblemFactory& factory,
+    const std::vector<std::pair<std::string, Algorithm>>& algorithms,
+    const RunnerOptions& options = {});
+
+/// Records one solution's metrics into a MetricSet (used by run_experiment
+/// and directly by bench drivers with custom loops).
+void record_solution(const core::RecoverySolution& solution,
+                     util::MetricSet& metrics);
+
+}  // namespace netrec::scenario

@@ -1,0 +1,52 @@
+// Topology suite for the paper's three experiment scenarios (Section VII).
+//
+//  * bell_canada_like(): 48 nodes / 64 edges with geographic coordinates
+//    over Canadian cities and the paper's capacity plan — two backbones at
+//    50 and 30 units, access links at 20, unit repair costs.  The Internet
+//    Topology Zoo original is not distributable offline; this synthetic
+//    stand-in preserves size, the backbone+access structure and rough
+//    planarity (see DESIGN.md substitution #2).  Real Topology Zoo GML files
+//    load through graph::load_gml_file when available.
+//  * erdos_renyi(): G(n, p) with uniform capacities (Section VII-B).
+//  * caida_like(): preferential-attachment AS-style graph trimmed to exactly
+//    825 nodes / 1018 edges — the size of CAIDA AS28717's giant component
+//    (Section VII-C, substitution #3).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace netrec::topology {
+
+struct BellCanadaOptions {
+  double backbone_capacity = 50.0;
+  double secondary_capacity = 30.0;
+  double access_capacity = 20.0;
+  double repair_cost = 1.0;
+};
+
+/// 48-node / 64-edge Bell-Canada-like topology (deterministic).
+graph::Graph bell_canada_like(const BellCanadaOptions& options = {});
+
+struct ErdosRenyiOptions {
+  std::size_t nodes = 100;
+  double edge_probability = 0.5;
+  double capacity = 1000.0;
+  double repair_cost = 1.0;
+};
+
+/// G(n, p); node coordinates uniform in [0, 100]^2.
+graph::Graph erdos_renyi(const ErdosRenyiOptions& options, util::Rng& rng);
+
+struct CaidaLikeOptions {
+  std::size_t nodes = 825;
+  std::size_t edges = 1018;
+  double capacity = 40.0;
+  double repair_cost = 1.0;
+};
+
+/// AS-like sparse graph with heavy-tailed degrees, connected by
+/// construction, trimmed to exactly the requested node/edge counts.
+graph::Graph caida_like(const CaidaLikeOptions& options, util::Rng& rng);
+
+}  // namespace netrec::topology

@@ -1,0 +1,35 @@
+// Minimal CSV emission for bench outputs.
+//
+// Every bench driver prints a human-readable table to stdout and, when
+// --csv <path> is given, the same series as CSV so figures can be re-plotted
+// externally.  Quoting follows RFC 4180 (fields containing comma, quote or
+// newline are quoted; embedded quotes doubled).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace netrec::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; each cell is escaped as needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: header row.
+  void header(const std::vector<std::string>& cells) { row(cells); }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Formats a double compactly (fixed, trimming trailing zeros).
+std::string format_double(double value, int max_precision = 6);
+
+}  // namespace netrec::util

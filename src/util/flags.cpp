@@ -1,0 +1,85 @@
+#include "util/flags.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netrec::util {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  specs_[name] = Spec{default_value, help};
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    if (!specs_.count(name)) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Flags::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  auto spec = specs_.find(name);
+  if (spec == specs_.end()) {
+    throw std::invalid_argument("undeclared flag --" + name);
+  }
+  return spec->second.default_value;
+}
+
+int Flags::get_int(const std::string& name) const {
+  return std::stoi(get(name));
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(get(name));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stod(tok));
+  }
+  return out;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [--flag value]...\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name << " (default: " << spec.default_value << ")\n"
+        << "      " << spec.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace netrec::util

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser shared by bench drivers and examples.
+//
+// Supports "--name value" and "--name=value"; unknown flags are an error so
+// typos in sweep scripts fail loudly.  Not a general-purpose CLI library —
+// just enough for reproducible experiment invocation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netrec::util {
+
+class Flags {
+ public:
+  /// Declares a flag with a default value and help text.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv; throws std::invalid_argument on unknown/malformed flags.
+  /// Recognises --help by returning false (caller should print usage()).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of doubles, e.g. "--sweep 2,4,6".
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace netrec::util

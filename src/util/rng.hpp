@@ -1,0 +1,68 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of netrec (topology generators, disruption
+// models, demand sampling, optimal-face exploration) draw from util::Rng so
+// that a (seed, run-index) pair fully determines an experiment.  The
+// generator is xoshiro256**, seeded via SplitMix64, so results are identical
+// across platforms and standard-library implementations (std::mt19937
+// distributions are not portable across vendors).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace netrec::util {
+
+/// Portable xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit value via SplitMix64 expansion.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the generator; equivalent to constructing Rng(seed).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Box-Muller, stateless between calls).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Derives an independent child generator; used to give each experiment
+  /// run its own stream so runs stay reproducible when executed in any order.
+  Rng fork();
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace netrec::util

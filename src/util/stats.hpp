@@ -1,0 +1,56 @@
+// Streaming statistics used to aggregate experiment runs.
+//
+// Experiments in the paper average 20 runs per data point; RunningStats
+// accumulates those samples with Welford's algorithm (numerically stable,
+// single pass) and exposes mean / stddev / standard error / extrema.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netrec::util {
+
+/// Single-variable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean: stddev / sqrt(n).
+  double stderr_mean() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A named collection of RunningStats, keyed by metric name.  Each bench
+/// data point (e.g. "x=4 pairs") keeps one MetricSet across runs.
+class MetricSet {
+ public:
+  void add(const std::string& metric, double value);
+  const RunningStats& get(const std::string& metric) const;
+  bool has(const std::string& metric) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, RunningStats> metrics_;
+};
+
+}  // namespace netrec::util

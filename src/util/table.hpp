@@ -1,0 +1,29 @@
+// Console table rendering for bench drivers.
+//
+// Each bench prints the same rows/series the paper's figures plot; Table
+// aligns columns so the output reads like the paper's data tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netrec::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a separator under the header, columns padded to content.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netrec::util

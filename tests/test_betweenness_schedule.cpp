@@ -1,0 +1,169 @@
+// Tests for Brandes betweenness and the repair-scheduling module, plus the
+// betweenness-ranking ISP ablation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/isp.hpp"
+#include "graph/betweenness.hpp"
+#include "heuristics/schedule.hpp"
+#include "mcf/routing.hpp"
+#include "util/rng.hpp"
+
+namespace netrec {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+graph::EdgeWeight unit() {
+  return [](EdgeId) { return 1.0; };
+}
+
+TEST(Betweenness, PathGraphCenterDominates) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1, 1.0);
+  const auto c = graph::betweenness_centrality(g, unit());
+  // Known values on P5: endpoints 0, then 3, 4, 3.
+  EXPECT_NEAR(c[0], 0.0, 1e-9);
+  EXPECT_NEAR(c[1], 3.0, 1e-9);
+  EXPECT_NEAR(c[2], 4.0, 1e-9);
+  EXPECT_NEAR(c[3], 3.0, 1e-9);
+  EXPECT_NEAR(c[4], 0.0, 1e-9);
+}
+
+TEST(Betweenness, StarHubTakesEverything) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  for (int leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf, 1.0);
+  const auto c = graph::betweenness_centrality(g, unit());
+  EXPECT_NEAR(c[0], 6.0, 1e-9);  // C(4,2) leaf pairs
+  for (int leaf = 1; leaf < 5; ++leaf) EXPECT_NEAR(c[leaf], 0.0, 1e-9);
+}
+
+TEST(Betweenness, SplitsAcrossEqualShortestPaths) {
+  // 4-cycle: each pair of opposite nodes has two shortest paths; every node
+  // carries half a pair -> betweenness 0.5 each.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  const auto c = graph::betweenness_centrality(g, unit());
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(c[i], 0.5, 1e-9);
+}
+
+TEST(Betweenness, RespectsWeightsAndFilters) {
+  // Triangle with one heavy edge: shortest 0-2 route goes via 1.
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const EdgeId heavy = g.add_edge(0, 2, 1.0);
+  auto weights = [&](EdgeId e) { return e == heavy ? 10.0 : 1.0; };
+  const auto c = graph::betweenness_centrality(g, weights);
+  EXPECT_NEAR(c[1], 1.0, 1e-9);
+  // Filtering out the light edges isolates the pairs through `heavy`.
+  const auto filtered = graph::betweenness_centrality(
+      g, weights, [&](EdgeId e) { return e == heavy; });
+  EXPECT_NEAR(filtered[1], 0.0, 1e-9);
+}
+
+TEST(IspAblation, BetweennessRankingStillSatisfiesDemand) {
+  core::RecoveryProblem p;
+  for (int i = 0; i < 6; ++i) p.graph.add_node();
+  p.graph.add_edge(0, 2, 20.0);
+  p.graph.add_edge(1, 2, 20.0);
+  p.graph.add_edge(2, 3, 20.0);
+  p.graph.add_edge(3, 4, 20.0);
+  p.graph.add_edge(3, 5, 20.0);
+  p.graph.break_everything();
+  p.demands = {{0, 4, 5.0}, {1, 5, 5.0}};
+  core::IspOptions opt;
+  opt.use_classic_betweenness = true;
+  const auto s = core::IspSolver(p, opt).solve();
+  EXPECT_NEAR(s.satisfied_fraction, 1.0, 1e-6);
+  EXPECT_TRUE(core::validate_solution(p, s).empty());
+}
+
+// --- scheduling -------------------------------------------------------------
+
+core::RecoveryProblem scheduled_instance() {
+  core::RecoveryProblem p;
+  for (int i = 0; i < 6; ++i) p.graph.add_node("n" + std::to_string(i));
+  // Two demands with disjoint 2-hop routes.
+  p.graph.add_edge(0, 1, 10.0);
+  p.graph.add_edge(1, 2, 10.0);
+  p.graph.add_edge(3, 4, 10.0);
+  p.graph.add_edge(4, 5, 10.0);
+  p.graph.break_everything();
+  p.demands = {{0, 2, 8.0}, {3, 5, 2.0}};
+  return p;
+}
+
+TEST(Schedule, ContainsEveryRepairExactlyOnce) {
+  const auto p = scheduled_instance();
+  const auto plan = core::IspSolver(p).solve();
+  const auto schedule = heuristics::schedule_repairs(p, plan);
+  EXPECT_EQ(schedule.steps.size(), plan.total_repairs());
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  for (const auto& step : schedule.steps) {
+    (step.is_node ? nodes : edges) += 1;
+    EXPECT_FALSE(step.label.empty());
+  }
+  EXPECT_EQ(nodes, plan.repaired_nodes.size());
+  EXPECT_EQ(edges, plan.repaired_edges.size());
+}
+
+TEST(Schedule, RestorationIsMonotoneAndEndsComplete) {
+  const auto p = scheduled_instance();
+  const auto plan = core::IspSolver(p).solve();
+  heuristics::ScheduleOptions opt;
+  opt.exact_scoring = true;
+  const auto schedule = heuristics::schedule_repairs(p, plan, opt);
+  double prev = 0.0;
+  for (const auto& step : schedule.steps) {
+    EXPECT_GE(step.restored_after, prev - 1e-9);
+    prev = step.restored_after;
+  }
+  EXPECT_NEAR(schedule.steps.back().restored_after, p.total_demand(), 1e-6);
+}
+
+TEST(Schedule, GreedyPrefersTheBiggerDemandFirst) {
+  // Both routes cost 5 repairs; demand (0,2)=8 vs (3,5)=2 -> the greedy
+  // schedule restores the 8-unit service first.
+  const auto p = scheduled_instance();
+  const auto plan = core::IspSolver(p).solve();
+  heuristics::ScheduleOptions opt;
+  opt.exact_scoring = true;
+  const auto schedule = heuristics::schedule_repairs(p, plan, opt);
+  const std::size_t to_80pct = schedule.steps_to_restore(0.8);
+  EXPECT_LE(to_80pct, 5u);  // the first completed route already gives 80%
+  // AUC strictly better than the worst possible order (big demand last).
+  EXPECT_GT(schedule.restoration_auc(), 0.3);
+}
+
+TEST(Schedule, EmptySolutionYieldsEmptySchedule) {
+  const auto p = scheduled_instance();
+  core::RecoverySolution none;
+  core::score_solution(p, none);
+  const auto schedule = heuristics::schedule_repairs(p, none);
+  EXPECT_TRUE(schedule.steps.empty());
+  EXPECT_DOUBLE_EQ(schedule.restoration_auc(), 1.0);
+  EXPECT_EQ(schedule.steps_to_restore(0.5), 1u);
+}
+
+TEST(Schedule, AucInUnitInterval) {
+  const auto p = scheduled_instance();
+  const auto plan = core::IspSolver(p).solve();
+  const auto schedule = heuristics::schedule_repairs(p, plan);
+  EXPECT_GE(schedule.restoration_auc(), 0.0);
+  EXPECT_LE(schedule.restoration_auc(), 1.0);
+}
+
+}  // namespace
+}  // namespace netrec

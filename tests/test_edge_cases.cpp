@@ -1,0 +1,183 @@
+// Edge-case and failure-path tests across modules: file I/O, infeasible
+// instances, iteration limits, degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/isp.hpp"
+#include "graph/gml.hpp"
+#include "heuristics/baselines.hpp"
+#include "heuristics/opt.hpp"
+#include "heuristics/schedule.hpp"
+#include "lp/simplex.hpp"
+#include "mcf/routing.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace netrec {
+namespace {
+
+TEST(GmlFile, RoundTripsThroughDisk) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "netrec_gml_test.gml")
+          .string();
+  graph::Graph g = topology::bell_canada_like();
+  g.node(3).broken = true;
+  g.edge(5).broken = true;
+  graph::save_gml_file(g, path);
+  const graph::Graph loaded = graph::load_gml_file(path);
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_TRUE(loaded.node(3).broken);
+  EXPECT_TRUE(loaded.edge(5).broken);
+  EXPECT_EQ(loaded.node(0).name, g.node(0).name);
+  std::remove(path.c_str());
+}
+
+TEST(GmlFile, MissingFileThrows) {
+  EXPECT_THROW(graph::load_gml_file("/nonexistent/netrec.gml"),
+               std::runtime_error);
+}
+
+TEST(CsvFile, UnwritablePathThrows) {
+  EXPECT_THROW(util::CsvWriter("/nonexistent/dir/out.csv"),
+               std::runtime_error);
+}
+
+TEST(Opt, InfeasibleInstanceIsBestEffortNotCrash) {
+  core::RecoveryProblem p;
+  p.graph.add_node();
+  p.graph.add_node();
+  p.graph.add_edge(0, 1, 1.0);
+  p.graph.break_everything();
+  p.demands = {{0, 1, 5.0}};  // demand > any capacity
+  heuristics::OptOptions oo;
+  oo.time_limit_seconds = 2.0;
+  const auto r = heuristics::solve_opt(p, oo);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_LT(r.solution.satisfied_fraction, 1.0);
+  EXPECT_TRUE(core::validate_solution(p, r.solution).empty());
+}
+
+TEST(Opt, EmptyDemandIsTrivial) {
+  core::RecoveryProblem p;
+  p.graph = topology::bell_canada_like();
+  p.graph.break_everything();
+  const auto r = heuristics::solve_opt(p);
+  EXPECT_EQ(r.solution.total_repairs(), 0u);
+  EXPECT_DOUBLE_EQ(r.solution.satisfied_fraction, 1.0);
+}
+
+TEST(Simplex, IterationLimitIsReported) {
+  // A valid LP with an absurdly low iteration cap.
+  lp::Model m;
+  m.goal = lp::Goal::kMaximize;
+  util::Rng rng(3);
+  const int rows = 12;
+  for (int r = 0; r < rows; ++r) {
+    m.add_constraint(lp::Sense::kLessEqual, rng.uniform(5.0, 10.0));
+  }
+  for (int c = 0; c < 30; ++c) {
+    const int v = m.add_variable(0.0, lp::kInfinity, rng.uniform(0.5, 2.0));
+    for (int r = 0; r < rows; ++r) {
+      m.set_coefficient(r, v, rng.uniform(0.1, 1.0));
+    }
+  }
+  lp::SolveOptions opt;
+  opt.max_iterations = 1;
+  const auto s = lp::solve(m, opt);
+  EXPECT_EQ(s.status, lp::SolveStatus::kIterationLimit);
+}
+
+TEST(Isp, SingleNodeGraphTerminates) {
+  core::RecoveryProblem p;
+  p.graph.add_node();
+  p.graph.node(0).broken = true;
+  p.demands = {{0, 0, 3.0}};  // self-demand, trivially satisfied
+  const auto s = core::IspSolver(p).solve();
+  EXPECT_EQ(s.total_repairs(), 0u);
+  EXPECT_DOUBLE_EQ(s.satisfied_fraction, 1.0);
+}
+
+TEST(Isp, DisconnectedEndpointsAreInfeasibleNotFatal) {
+  core::RecoveryProblem p;
+  p.graph.add_node();
+  p.graph.add_node();  // no edges at all
+  p.demands = {{0, 1, 1.0}};
+  const auto s = core::IspSolver(p).solve();
+  EXPECT_FALSE(s.instance_feasible);
+  EXPECT_DOUBLE_EQ(s.satisfied_fraction, 0.0);
+}
+
+TEST(Srt, EmptyDemandRepairsNothing) {
+  core::RecoveryProblem p;
+  p.graph = topology::bell_canada_like();
+  p.graph.break_everything();
+  const auto s = heuristics::solve_srt(p);
+  EXPECT_EQ(s.total_repairs(), 0u);
+}
+
+TEST(Greedy, NoPathsWithinLimitsMeansNoRepairs) {
+  core::RecoveryProblem p;
+  for (int i = 0; i < 6; ++i) p.graph.add_node();
+  for (int i = 0; i + 1 < 6; ++i) p.graph.add_edge(i, i + 1, 10.0);
+  p.graph.break_everything();
+  p.demands = {{0, 5, 2.0}};
+  heuristics::GreedyOptions opt;
+  opt.max_hops = 2;  // the only path needs 5 hops
+  const auto s = heuristics::solve_grd_nc(p, opt);
+  EXPECT_EQ(s.total_repairs(), 0u);
+  EXPECT_LT(s.satisfied_fraction, 1.0);
+}
+
+TEST(Schedule, LeftoverCapacityRepairsAreAppended) {
+  // Demand 15 needs both parallel routes; each route completion shows up in
+  // the schedule, nothing is dropped.
+  core::RecoveryProblem p;
+  for (int i = 0; i < 4; ++i) p.graph.add_node();
+  p.graph.add_edge(0, 1, 10.0);
+  p.graph.add_edge(1, 3, 10.0);
+  p.graph.add_edge(0, 2, 10.0);
+  p.graph.add_edge(2, 3, 10.0);
+  p.graph.break_everything();
+  p.demands = {{0, 3, 15.0}};
+  const auto plan = core::IspSolver(p).solve();
+  ASSERT_EQ(plan.total_repairs(), 8u);
+  heuristics::ScheduleOptions sopt;
+  sopt.exact_scoring = true;
+  const auto schedule = heuristics::schedule_repairs(p, plan, sopt);
+  EXPECT_EQ(schedule.steps.size(), 8u);
+  EXPECT_NEAR(schedule.steps.back().restored_after, 15.0, 1e-6);
+  // Partial restoration appears mid-schedule (first route = 10 units).
+  EXPECT_LE(schedule.steps_to_restore(10.0 / 15.0), 6u);
+}
+
+TEST(Scenario, InfeasibleFactoryIsSkippedGracefully) {
+  scenario::RunnerOptions opt;
+  opt.runs = 2;
+  opt.require_feasible = true;
+  opt.max_redraws = 2;
+  const auto result = scenario::run_experiment(
+      [](util::Rng&) {
+        core::RecoveryProblem p;
+        p.graph.add_node();
+        p.graph.add_node();
+        p.graph.add_edge(0, 1, 1.0);
+        p.demands = {{0, 1, 100.0}};  // never feasible
+        return p;
+      },
+      {{"noop",
+        [](const core::RecoveryProblem& problem) {
+          core::RecoverySolution s;
+          core::score_solution(problem, s);
+          return s;
+        }}},
+      opt);
+  EXPECT_EQ(result.completed_runs, 0u);
+}
+
+}  // namespace
+}  // namespace netrec

@@ -1,0 +1,317 @@
+// Unit tests for the graph substrate: structure, traversal, shortest paths,
+// max flow, simple-path enumeration and GML round-tripping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.hpp"
+#include "graph/gml.hpp"
+#include "graph/graph.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/path.hpp"
+#include "graph/simple_paths.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace netrec::graph {
+namespace {
+
+Graph make_square_with_diagonal() {
+  // 0-1, 1-2, 2-3, 3-0 (capacity 10), diagonal 0-2 (capacity 3).
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i));
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(2, 3, 10.0);
+  g.add_edge(3, 0, 10.0);
+  g.add_edge(0, 2, 3.0);
+  return g;
+}
+
+TEST(Graph, BasicStructure) {
+  Graph g = make_square_with_diagonal();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_NE(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(1, 3), kInvalidEdge);
+  EXPECT_EQ(g.other_endpoint(g.find_edge(0, 1), 0), 1);
+  EXPECT_EQ(g.other_endpoint(g.find_edge(0, 1), 1), 0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0, 2.0), std::invalid_argument);
+}
+
+TEST(Graph, BreakAndRepairBookkeeping) {
+  Graph g = make_square_with_diagonal();
+  EXPECT_EQ(g.num_broken_nodes(), 0u);
+  g.break_everything();
+  EXPECT_EQ(g.num_broken_nodes(), 4u);
+  EXPECT_EQ(g.num_broken_edges(), 5u);
+  EXPECT_DOUBLE_EQ(g.total_repair_cost(), 9.0);  // unit costs
+  EXPECT_FALSE(g.edge_usable(0));
+  g.repair_everything();
+  EXPECT_TRUE(g.edge_usable(0));
+}
+
+TEST(Graph, EdgeUsableRequiresWorkingEndpoints) {
+  Graph g = make_square_with_diagonal();
+  g.node(1).broken = true;
+  EXPECT_FALSE(g.edge_usable(g.find_edge(0, 1)));
+  EXPECT_TRUE(g.edge_usable(g.find_edge(3, 0)));
+}
+
+TEST(Traversal, BfsHopsAndDiameter) {
+  Graph g = make_square_with_diagonal();
+  const auto dist = bfs_hops(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);  // via diagonal
+  EXPECT_EQ(dist[3], 1);
+  EXPECT_EQ(hop_diameter(g), 2);
+}
+
+TEST(Traversal, FiltersExcludeBrokenElements) {
+  Graph g = make_square_with_diagonal();
+  g.edge(g.find_edge(0, 2)).broken = true;
+  g.edge(g.find_edge(0, 1)).broken = true;
+  const auto dist = bfs_hops(g, 0, working_edge_filter(g));
+  EXPECT_EQ(dist[2], 2);  // 0-3-2
+  EXPECT_EQ(dist[1], 3);  // 0-3-2-1
+}
+
+TEST(Traversal, ComponentsSplitWhenCut) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.add_node();
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[3], label[5]);
+  const auto giant = giant_component(g);
+  EXPECT_EQ(giant.size(), 3u);
+}
+
+TEST(Dijkstra, PrefersShortMetricOverFewHops) {
+  // 0-1-2 each length 1 vs direct 0-2 length 5.
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  const EdgeId a = g.add_edge(0, 1, 1.0);
+  const EdgeId b = g.add_edge(1, 2, 1.0);
+  const EdgeId direct = g.add_edge(0, 2, 1.0);
+  auto length = [&](EdgeId e) { return e == direct ? 5.0 : 1.0; };
+  auto path = shortest_path(g, 0, 2, length);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->edges, (std::vector<EdgeId>{a, b}));
+  EXPECT_NEAR(path->length(length), 2.0, 1e-12);
+}
+
+TEST(Dijkstra, ReturnsNulloptWhenDisconnected) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_FALSE(
+      shortest_path(g, 0, 1, [](EdgeId) { return 1.0; }).has_value());
+}
+
+TEST(Dijkstra, RejectsNegativeLengths) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(dijkstra(g, 0, [](EdgeId) { return -1.0; }),
+               std::invalid_argument);
+}
+
+TEST(WidestPath, PicksMaximumBottleneck) {
+  Graph g = make_square_with_diagonal();
+  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  auto path = widest_path(g, 0, 2, cap);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_NEAR(path->capacity(cap), 10.0, 1e-12);  // around, not diagonal
+  EXPECT_EQ(path->hop_count(), 2u);
+}
+
+TEST(Path, NodeSequenceAndSimplicity) {
+  Graph g = make_square_with_diagonal();
+  Path p;
+  p.start = 0;
+  p.edges = {g.find_edge(0, 1), g.find_edge(1, 2)};
+  EXPECT_EQ(p.end(g), 2);
+  EXPECT_TRUE(p.is_simple(g));
+  EXPECT_TRUE(p.connects(g, 0, 2));
+  EXPECT_FALSE(p.connects(g, 0, 3));
+  const auto nodes = p.nodes(g);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Maxflow, SingleEdge) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, 7.5);
+  const auto r = max_flow(g, 0, 1, [&g](EdgeId e) { return g.edge(e).capacity; });
+  EXPECT_NEAR(r.value, 7.5, 1e-9);
+}
+
+TEST(Maxflow, ParallelPathsSum) {
+  Graph g = make_square_with_diagonal();
+  const auto r = max_flow(g, 0, 2, [&g](EdgeId e) { return g.edge(e).capacity; });
+  // 0-1-2 (10) + 0-3-2 (10) + 0-2 (3).
+  EXPECT_NEAR(r.value, 23.0, 1e-9);
+}
+
+TEST(Maxflow, RespectsNodeFilter) {
+  Graph g = make_square_with_diagonal();
+  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  const auto r = max_flow(g, 0, 2, cap, {},
+                          [](NodeId n) { return n != 1; });
+  EXPECT_NEAR(r.value, 13.0, 1e-9);  // loses the 0-1-2 path
+}
+
+TEST(Maxflow, DecompositionRecoversValue) {
+  Graph g = make_square_with_diagonal();
+  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  const auto r = max_flow(g, 0, 2, cap);
+  const auto paths = decompose_flow(g, 0, 2, r.edge_flow);
+  double total = 0.0;
+  for (const auto& [path, amount] : paths) {
+    EXPECT_TRUE(path.connects(g, 0, 2));
+    EXPECT_GT(amount, 0.0);
+    total += amount;
+  }
+  EXPECT_NEAR(total, r.value, 1e-6);
+}
+
+TEST(Maxflow, RandomGraphsFlowConservation) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g;
+    const int n = 8;
+    for (int i = 0; i < n; ++i) g.add_node();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.chance(0.4)) {
+          g.add_edge(i, j, rng.uniform(1.0, 10.0));
+        }
+      }
+    }
+    auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+    const auto r = max_flow(g, 0, n - 1, cap);
+    // Conservation at interior nodes.
+    for (NodeId v = 1; v < n - 1; ++v) {
+      double net = 0.0;
+      for (EdgeId e : g.incident_edges(v)) {
+        const Edge& edge = g.edge(e);
+        net += edge.u == v ? r.edge_flow[static_cast<std::size_t>(e)]
+                           : -r.edge_flow[static_cast<std::size_t>(e)];
+      }
+      EXPECT_NEAR(net, 0.0, 1e-6);
+    }
+    // Decomposition matches the value.
+    const auto paths = decompose_flow(g, 0, n - 1, r.edge_flow);
+    double total = 0.0;
+    for (const auto& [path, amount] : paths) total += amount;
+    EXPECT_NEAR(total, r.value, 1e-6);
+  }
+}
+
+TEST(SimplePaths, EnumeratesAllInSquare) {
+  Graph g = make_square_with_diagonal();
+  const auto paths = all_simple_paths(g, 0, 2);
+  // 0-2, 0-1-2, 0-3-2, 0-1... only simple: {0-2, 0-1-2, 0-3-2}.
+  EXPECT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(p.connects(g, 0, 2));
+    EXPECT_TRUE(p.is_simple(g));
+  }
+}
+
+TEST(SimplePaths, HonoursLimits) {
+  Graph g = make_square_with_diagonal();
+  SimplePathLimits limits;
+  limits.max_paths = 1;
+  EXPECT_EQ(all_simple_paths(g, 0, 2, limits).size(), 1u);
+  limits.max_paths = 100;
+  limits.max_hops = 1;
+  EXPECT_EQ(all_simple_paths(g, 0, 2, limits).size(), 1u);  // only direct
+}
+
+TEST(SuccessivePaths, CoversDemandAndReportsCapacities) {
+  Graph g = make_square_with_diagonal();
+  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  auto ones = [](EdgeId) { return 1.0; };
+  const auto r = successive_shortest_paths(g, 0, 2, 15.0, ones, cap);
+  EXPECT_GE(r.total_capacity, 15.0);
+  ASSERT_GE(r.paths.size(), 2u);
+  double sum = 0.0;
+  for (double c : r.capacities) sum += c;
+  EXPECT_NEAR(sum, r.total_capacity, 1e-12);
+}
+
+TEST(SuccessivePaths, StopsWhenDisconnected) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  const auto r = successive_shortest_paths(
+      g, 0, 1, 5.0, [](EdgeId) { return 1.0; }, [](EdgeId) { return 1.0; });
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.total_capacity, 0.0);
+}
+
+TEST(Gml, RoundTripPreservesEverything) {
+  Graph g = make_square_with_diagonal();
+  g.node(1).broken = true;
+  g.edge(2).broken = true;
+  g.node(0).x = -73.5;
+  g.node(0).y = 45.5;
+  g.edge(0).repair_cost = 2.5;
+
+  const Graph h = parse_gml(to_gml(g));
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.node(1).broken);
+  EXPECT_TRUE(h.edge(2).broken);
+  EXPECT_DOUBLE_EQ(h.node(0).x, -73.5);
+  EXPECT_DOUBLE_EQ(h.edge(0).repair_cost, 2.5);
+  EXPECT_EQ(h.node(2).name, "n2");
+}
+
+TEST(Gml, ParsesTopologyZooStyle) {
+  const std::string text = R"(
+# Topology Zoo style excerpt
+graph [
+  directed 0
+  label "Toy"
+  node [ id 10 label "Montreal" Longitude -73.57 Latitude 45.50 ]
+  node [ id 20 label "Toronto"  Longitude -79.38 Latitude 43.65 ]
+  edge [ source 10 target 20 LinkSpeed 30 ]
+]
+)";
+  const Graph g = parse_gml(text);
+  ASSERT_EQ(g.num_nodes(), 2u);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.node(0).name, "Montreal");
+  EXPECT_NEAR(g.node(0).x, -73.57, 1e-9);
+  EXPECT_NEAR(g.edge(0).capacity, 30.0, 1e-9);
+}
+
+TEST(Gml, RejectsMalformedInput) {
+  EXPECT_THROW(parse_gml("nothing here"), std::runtime_error);
+  EXPECT_THROW(parse_gml("graph [ node [ id 1 ]"), std::runtime_error);
+  EXPECT_THROW(parse_gml("graph [ edge [ source 1 target 2 ] ]"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netrec::graph

@@ -1,0 +1,188 @@
+// Direct tests of the column-generation master (PathLp): mode semantics,
+// lazy capacity-row activation, cost-bound rows and convergence reporting.
+#include <gtest/gtest.h>
+
+#include "mcf/path_lp.hpp"
+#include "mcf/routing.hpp"
+#include "util/rng.hpp"
+
+namespace netrec::mcf {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// Ladder graph: two s-t routes of given capacities plus rungs.
+Graph two_route_graph(double cap_a, double cap_b) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1, cap_a);
+  g.add_edge(1, 3, cap_a);
+  g.add_edge(0, 2, cap_b);
+  g.add_edge(2, 3, cap_b);
+  return g;
+}
+
+TEST(PathLp, MaxRoutedConvergesToExactOptimum) {
+  Graph g = two_route_graph(7.0, 5.0);
+  PathLp lp(g, {Demand{0, 3, 100.0}}, {}, static_capacity(g));
+  lp.set_max_routed();
+  const auto r = lp.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);
+  EXPECT_FALSE(r.routing.fully_routed);
+}
+
+TEST(PathLp, ModeMustBeConfigured) {
+  Graph g = two_route_graph(1.0, 1.0);
+  PathLp lp(g, {Demand{0, 3, 1.0}}, {}, static_capacity(g));
+  EXPECT_THROW(lp.solve(), std::logic_error);
+}
+
+TEST(PathLp, MinCostPrefersCheapEdges) {
+  Graph g = two_route_graph(10.0, 10.0);
+  // Route A (via node 1) costs 5 per edge; route B free.
+  auto cost = [&g](EdgeId e) {
+    const auto& edge = g.edge(e);
+    return (edge.u == 1 || edge.v == 1) ? 5.0 : 0.0;
+  };
+  PathLp lp(g, {Demand{0, 3, 8.0}}, {}, static_capacity(g));
+  lp.set_min_cost(cost);
+  const auto r = lp.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.routing.fully_routed);
+  EXPECT_NEAR(r.objective, 0.0, 1e-6);  // everything on route B
+}
+
+TEST(PathLp, MinCostPaysWhenForcedAcrossBothRoutes) {
+  Graph g = two_route_graph(10.0, 4.0);
+  auto cost = [&g](EdgeId e) {
+    const auto& edge = g.edge(e);
+    return (edge.u == 1 || edge.v == 1) ? 1.0 : 0.0;
+  };
+  // Demand 10 > free route capacity 4: six units must take the 2-cost route.
+  PathLp lp(g, {Demand{0, 3, 10.0}}, {}, static_capacity(g));
+  lp.set_min_cost(cost);
+  const auto r = lp.solve();
+  EXPECT_TRUE(r.routing.fully_routed);
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);  // 6 units x cost 2
+}
+
+TEST(PathLp, MinCostReportsShortfallWhenInfeasible) {
+  Graph g = two_route_graph(2.0, 1.0);
+  PathLp lp(g, {Demand{0, 3, 10.0}}, {}, static_capacity(g));
+  lp.set_min_cost([](EdgeId) { return 0.0; });
+  const auto r = lp.solve();
+  EXPECT_FALSE(r.routing.fully_routed);
+  ASSERT_EQ(r.shortfall.size(), 1u);
+  EXPECT_NEAR(r.shortfall[0], 7.0, 1e-6);  // 10 wanted, 3 routable
+}
+
+TEST(PathLp, MaxSplitHonoursDxCap) {
+  Graph g = two_route_graph(6.0, 9.0);
+  PathLp lp(g, {Demand{0, 3, 4.0}}, {}, static_capacity(g));
+  lp.set_max_split(0, 1);
+  const auto r = lp.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.objective, 4.0, 1e-6);  // dx capped by the demand itself
+}
+
+TEST(PathLp, SplitIndexValidation) {
+  Graph g = two_route_graph(1.0, 1.0);
+  PathLp lp(g, {Demand{0, 3, 1.0}}, {}, static_capacity(g));
+  lp.set_max_split(5, 1);
+  EXPECT_THROW(lp.solve(), std::invalid_argument);
+}
+
+TEST(PathLp, CostBoundRequiresMinCostMode) {
+  Graph g = two_route_graph(1.0, 1.0);
+  PathLp lp(g, {Demand{0, 3, 1.0}}, {}, static_capacity(g));
+  lp.set_max_routed();
+  lp.add_cost_bound(PathCostBound{[](EdgeId) { return 1.0; }, 5.0});
+  EXPECT_THROW(lp.solve(), std::logic_error);
+}
+
+TEST(PathLp, CostBoundPinsTheOptimalFace) {
+  Graph g = two_route_graph(10.0, 10.0);
+  auto route_a_cost = [&g](EdgeId e) {
+    const auto& edge = g.edge(e);
+    return (edge.u == 1 || edge.v == 1) ? 1.0 : 0.0;
+  };
+  // Secondary objective prefers route A, but the bound row pins route-A
+  // usage to zero cost, forcing the flow onto route B.
+  PathLp lp(g, {Demand{0, 3, 5.0}}, {}, static_capacity(g));
+  lp.set_min_cost([&g](EdgeId e) {
+    const auto& edge = g.edge(e);
+    return (edge.u == 2 || edge.v == 2) ? 1.0 : 0.0;  // dislikes route B
+  });
+  lp.add_cost_bound(PathCostBound{route_a_cost, 0.0});
+  const auto r = lp.solve();
+  EXPECT_TRUE(r.routing.fully_routed);
+  for (const auto& flow : r.routing.flows) {
+    if (flow.amount <= 1e-7) continue;
+    for (NodeId n : flow.path.nodes(g)) EXPECT_NE(n, 1);
+  }
+}
+
+TEST(PathLp, LazyCapacityRowsActivateOnLargeGraphs) {
+  // A long chain (> eager threshold edges) with one tight middle edge.
+  Graph g;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) g.add_node();
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1, i == n / 2 ? 3.0 : 100.0);
+  }
+  PathLpOptions opt;
+  opt.eager_capacity_threshold = 50;  // force lazy mode
+  PathLp lp(g, {Demand{0, n - 1, 10.0}}, {}, static_capacity(g), opt);
+  lp.set_max_routed();
+  const auto r = lp.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.objective, 3.0, 1e-6);  // the tight edge binds
+}
+
+TEST(PathLp, ParallelDemandsShareFairlyAtOptimum) {
+  // Total capacity 12; three demands of 6 each -> max routed is 12, however
+  // distributed.  The optimum must not exceed capacity nor demand.
+  Graph g = two_route_graph(6.0, 6.0);
+  std::vector<Demand> demands{Demand{0, 3, 6.0}, Demand{0, 3, 6.0},
+                              Demand{0, 3, 6.0}};
+  PathLp lp(g, demands, {}, static_capacity(g));
+  lp.set_max_routed();
+  const auto r = lp.solve();
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);
+  for (std::size_t h = 0; h < demands.size(); ++h) {
+    EXPECT_LE(r.routing.routed[h], 6.0 + 1e-6);
+  }
+}
+
+TEST(PathLp, RandomInstancesNeverExceedCapacities) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g;
+    const int n = 10;
+    for (int i = 0; i < n; ++i) g.add_node();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.chance(0.4)) g.add_edge(i, j, rng.uniform(1.0, 6.0));
+      }
+    }
+    std::vector<Demand> demands;
+    for (int k = 0; k < 3; ++k) {
+      const auto s = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      const auto t = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      if (s != t) demands.push_back(Demand{s, t, rng.uniform(1.0, 5.0)});
+    }
+    if (demands.empty()) continue;
+    PathLp lp(g, demands, {}, static_capacity(g));
+    lp.set_max_routed();
+    const auto r = lp.solve();
+    EXPECT_TRUE(routing_is_valid(g, demands, r.routing.flows, {},
+                                 static_capacity(g)))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace netrec::mcf

@@ -1,0 +1,187 @@
+// Topology generators, disruption models and scenario scaffolding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "disruption/disruption.hpp"
+#include "graph/traversal.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace netrec {
+namespace {
+
+TEST(BellCanada, HasPaperDimensionsAndCapacities) {
+  const graph::Graph g = topology::bell_canada_like();
+  EXPECT_EQ(g.num_nodes(), 48u);
+  EXPECT_EQ(g.num_edges(), 64u);
+  std::set<double> capacities;
+  for (const auto& e : g.edges()) capacities.insert(e.capacity);
+  EXPECT_EQ(capacities, (std::set<double>{20.0, 30.0, 50.0}));
+  for (const auto& n : g.nodes()) {
+    EXPECT_DOUBLE_EQ(n.repair_cost, 1.0);
+    EXPECT_FALSE(n.name.empty());
+    EXPECT_NE(n.x, 0.0);  // has coordinates
+  }
+  EXPECT_EQ(graph::connected_components(g).back(), 0);  // single component
+}
+
+TEST(BellCanada, DiameterSupportsFarApartDemands) {
+  const graph::Graph g = topology::bell_canada_like();
+  const int diameter = graph::hop_diameter(g);
+  EXPECT_GE(diameter, 8);   // far-apart pairs need room
+  EXPECT_LE(diameter, 20);  // ...but stay a realistic ISP backbone
+}
+
+TEST(ErdosRenyi, EdgeCountMatchesProbability) {
+  util::Rng rng(11);
+  topology::ErdosRenyiOptions opts;
+  opts.nodes = 100;
+  opts.edge_probability = 0.3;
+  const graph::Graph g = topology::erdos_renyi(opts, rng);
+  const double expected = 0.3 * (100.0 * 99.0 / 2.0);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+  for (const auto& e : g.edges()) EXPECT_DOUBLE_EQ(e.capacity, 1000.0);
+}
+
+TEST(ErdosRenyi, FullProbabilityIsClique) {
+  util::Rng rng(3);
+  topology::ErdosRenyiOptions opts;
+  opts.nodes = 12;
+  opts.edge_probability = 1.0;
+  const graph::Graph g = topology::erdos_renyi(opts, rng);
+  EXPECT_EQ(g.num_edges(), 12u * 11u / 2u);
+}
+
+TEST(CaidaLike, ExactSizeConnectedHeavyTail) {
+  util::Rng rng(7);
+  topology::CaidaLikeOptions opts;  // defaults: 825 / 1018
+  const graph::Graph g = topology::caida_like(opts, rng);
+  EXPECT_EQ(g.num_nodes(), 825u);
+  EXPECT_EQ(g.num_edges(), 1018u);
+  // Connected (growth model guarantees it).
+  int max_label = 0;
+  for (int l : graph::connected_components(g)) max_label = std::max(max_label, l);
+  EXPECT_EQ(max_label, 0);
+  // Heavy tail: a hub much larger than the median degree.
+  EXPECT_GE(g.max_degree(), 20u);
+}
+
+TEST(Disruption, CompleteDestructionBreaksAll) {
+  graph::Graph g = topology::bell_canada_like();
+  disruption::complete_destruction(g);
+  EXPECT_EQ(g.num_broken_nodes(), g.num_nodes());
+  EXPECT_EQ(g.num_broken_edges(), g.num_edges());
+}
+
+TEST(Disruption, GaussianGrowsWithVariance) {
+  util::Rng rng(19);
+  double previous = -1.0;
+  for (double variance : {10.0, 50.0, 150.0}) {
+    util::RunningStats broken;
+    for (int trial = 0; trial < 10; ++trial) {
+      graph::Graph g = topology::bell_canada_like();
+      disruption::GaussianDisasterOptions opts;
+      opts.variance = variance;
+      const auto report = disruption::gaussian_disaster(g, opts, rng);
+      broken.add(static_cast<double>(report.total()));
+    }
+    EXPECT_GT(broken.mean(), previous)
+        << "variance " << variance << " did not grow the disaster";
+    previous = broken.mean();
+  }
+  // Top of the sweep: near-complete destruction (paper Sec. VII-A3).
+  graph::Graph g = topology::bell_canada_like();
+  disruption::GaussianDisasterOptions opts;
+  opts.variance = 150.0;
+  disruption::gaussian_disaster(g, opts, rng);
+  EXPECT_GE(g.num_broken_nodes() + g.num_broken_edges(), 90u);
+}
+
+TEST(Disruption, CircularBreaksInsideOnly) {
+  graph::Graph g;
+  g.add_node("in", 0.0, 0.0);
+  g.add_node("out", 10.0, 0.0);
+  g.add_edge(0, 1, 1.0);
+  const auto report = disruption::circular_disaster(g, 0.0, 0.0, 2.0);
+  EXPECT_EQ(report.broken_nodes, 1u);
+  EXPECT_TRUE(g.node(0).broken);
+  EXPECT_FALSE(g.node(1).broken);
+  EXPECT_EQ(report.broken_edges, 0u);  // midpoint at distance 5
+}
+
+TEST(Disruption, RandomFailuresRespectProbabilityExtremes) {
+  util::Rng rng(5);
+  graph::Graph g = topology::bell_canada_like();
+  disruption::random_failures(g, 0.0, 0.0, rng);
+  EXPECT_EQ(g.num_broken_nodes(), 0u);
+  disruption::random_failures(g, 1.0, 1.0, rng);
+  EXPECT_EQ(g.num_broken_nodes(), g.num_nodes());
+}
+
+TEST(Scenario, FarApartDemandsRespectDistance) {
+  const graph::Graph g = topology::bell_canada_like();
+  util::Rng rng(23);
+  const auto demands = scenario::far_apart_demands(g, 4, 10.0, rng);
+  ASSERT_EQ(demands.size(), 4u);
+  const int diameter = graph::hop_diameter(g);
+  const auto hops = graph::all_pairs_hops(g);
+  for (const auto& d : demands) {
+    EXPECT_GE(hops[static_cast<std::size_t>(d.source)]
+                  [static_cast<std::size_t>(d.target)],
+              diameter / 2);
+    EXPECT_DOUBLE_EQ(d.amount, 10.0);
+  }
+  // Endpoints all distinct (enough far-apart pairs exist on Bell-Canada).
+  std::set<graph::NodeId> endpoints;
+  for (const auto& d : demands) {
+    endpoints.insert(d.source);
+    endpoints.insert(d.target);
+  }
+  EXPECT_EQ(endpoints.size(), 8u);
+}
+
+TEST(Scenario, DemandsAreDeterministicPerSeed) {
+  const graph::Graph g = topology::bell_canada_like();
+  util::Rng a(99);
+  util::Rng b(99);
+  const auto da = scenario::far_apart_demands(g, 3, 5.0, a);
+  const auto db = scenario::far_apart_demands(g, 3, 5.0, b);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].source, db[i].source);
+    EXPECT_EQ(da[i].target, db[i].target);
+  }
+}
+
+TEST(Scenario, RunnerAggregatesAcrossRuns) {
+  scenario::RunnerOptions opts;
+  opts.runs = 3;
+  const auto result = scenario::run_experiment(
+      [](util::Rng& rng) {
+        core::RecoveryProblem p;
+        p.graph = topology::bell_canada_like();
+        util::Rng local = rng.fork();
+        p.demands = scenario::far_apart_demands(p.graph, 2, 10.0, local);
+        disruption::complete_destruction(p.graph);
+        return p;
+      },
+      {{"noop",
+        [](const core::RecoveryProblem& problem) {
+          core::RecoverySolution s;
+          s.algorithm = "noop";
+          core::score_solution(problem, s);
+          return s;
+        }}},
+      opts);
+  EXPECT_EQ(result.completed_runs, 3u);
+  const auto& metrics = result.per_algorithm.at("noop");
+  EXPECT_EQ(metrics.get("total_repairs").count(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.get("satisfied_pct").mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.instance.get("broken_total").mean(), 48.0 + 64.0);
+}
+
+}  // namespace
+}  // namespace netrec

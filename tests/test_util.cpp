@@ -1,0 +1,218 @@
+// Tests for the util substrate: deterministic RNG, streaming statistics,
+// CSV escaping, table rendering and flag parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace netrec::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalHasRoughlyCorrectMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(23);
+  parent_copy.fork();
+  EXPECT_EQ(parent.next(), parent_copy.next());  // forking is deterministic
+  EXPECT_NE(child.next(), parent.next());
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(10, 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (std::size_t v : sample) EXPECT_LT(v, 10u);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  Rng rng(31);
+  RunningStats bulk, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3.0, 8.0);
+    bulk.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), bulk.variance(), 1e-9);
+  EXPECT_NEAR(left.min(), bulk.min(), 1e-12);
+  EXPECT_NEAR(left.max(), bulk.max(), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(MetricSet, AccumulatesByName) {
+  MetricSet m;
+  m.add("repairs", 10.0);
+  m.add("repairs", 20.0);
+  m.add("time", 1.5);
+  EXPECT_DOUBLE_EQ(m.get("repairs").mean(), 15.0);
+  EXPECT_TRUE(m.has("time"));
+  EXPECT_FALSE(m.has("missing"));
+  EXPECT_THROW(m.get("missing"), std::out_of_range);
+  EXPECT_EQ(m.names().size(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 2), "0.12");  // round-half-to-even
+  EXPECT_EQ(format_double(-0.0), "0");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Flags, ParsesBothSyntaxes) {
+  Flags flags;
+  flags.define("alpha", "1", "a");
+  flags.define("beta", "x", "b");
+  const char* argv[] = {"prog", "--alpha", "7", "--beta=hello"};
+  ASSERT_TRUE(flags.parse(4, argv));
+  EXPECT_EQ(flags.get_int("alpha"), 7);
+  EXPECT_EQ(flags.get("beta"), "hello");
+}
+
+TEST(Flags, DefaultsApplyWhenAbsent) {
+  Flags flags;
+  flags.define("gamma", "2.5", "g");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_DOUBLE_EQ(flags.get_double("gamma"), 2.5);
+}
+
+TEST(Flags, RejectsUnknownAndMalformed) {
+  Flags flags;
+  flags.define("known", "1", "k");
+  const char* bad1[] = {"prog", "--unknown", "3"};
+  EXPECT_THROW(flags.parse(3, bad1), std::invalid_argument);
+  const char* bad2[] = {"prog", "--known"};
+  EXPECT_THROW(flags.parse(2, bad2), std::invalid_argument);
+  const char* bad3[] = {"prog", "stray"};
+  EXPECT_THROW(flags.parse(2, bad3), std::invalid_argument);
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags flags;
+  flags.define("x", "1", "x");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+  EXPECT_NE(flags.usage("prog").find("--x"), std::string::npos);
+}
+
+TEST(Flags, ParsesDoubleLists) {
+  Flags flags;
+  flags.define("sweep", "1,2.5,4", "s");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  const auto values = flags.get_double_list("sweep");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[1], 2.5);
+}
+
+}  // namespace
+}  // namespace netrec::util
