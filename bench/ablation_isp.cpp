@@ -6,13 +6,13 @@
 //   no-prune    — bubble pruning disabled (Theorem 3 unused);
 //   no-direct   — direct demand-edge repairs disabled (Section IV-E rule);
 //   flat-metric — dynamic path metric replaced by a huge `const`, so repair
-//                 costs barely influence lengths (Section IV-D ablated).
+//                 costs barely influence lengths (Section IV-D ablated);
+//   betweenness — classic betweenness centrality (Section IV-B ablated).
 //
 // Expected: the full algorithm weakly dominates on repairs; flat-metric
 // hurts most (the metric is what concentrates flow on repaired elements —
 // the paper calls it the source of ISP's "extraordinary strength").
 #include "bench/bench_common.hpp"
-#include "core/isp.hpp"
 #include "disruption/disruption.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/topologies.hpp"
@@ -29,10 +29,9 @@ int run(int argc, char** argv) {
   if (!bench::parse_or_usage(flags, argc, argv)) return 0;
 
   const double flow = flags.get_double("flow");
-  const std::string csv = flags.get("csv");
 
   auto isp_with = [](core::IspOptions opt) {
-    return [opt](const core::RecoveryProblem& p) {
+    return [opt](const core::RecoveryProblem& p, scenario::RunContext&) {
       return core::IspSolver(p, opt).solve();
     };
   };
@@ -46,58 +45,38 @@ int run(int argc, char** argv) {
   core::IspOptions betweenness = base;
   betweenness.use_classic_betweenness = true;  // Section IV-B ablation
 
-  std::vector<std::pair<std::string, scenario::Algorithm>> algorithms = {
-      {"full", isp_with(base)},
-      {"no-prune", isp_with(no_prune)},
-      {"no-direct", isp_with(no_direct)},
-      {"flat-metric", isp_with(flat_metric)},
-      {"betweenness", isp_with(betweenness)},
-  };
-  std::vector<std::string> names;
-  for (const auto& [name, fn] : algorithms) names.push_back(name);
+  scenario::RunnerOptions ropt = bench::runner_options(flags);
+  ropt.require_feasible = true;
 
-  std::vector<std::string> header{"pairs"};
-  header.insert(header.end(), names.begin(), names.end());
-  bench::ResultSink repairs("ISP ablation: total repairs", header,
-                            csv.empty() ? "" : csv + ".repairs.csv");
-  bench::ResultSink sat("ISP ablation: satisfied demand %", header,
-                        csv.empty() ? "" : csv + ".satisfied.csv");
-
+  scenario::SweepRunner sweep("ablation", "pairs", ropt);
+  sweep.add_algorithm("full", isp_with(base));
+  sweep.add_algorithm("no-prune", isp_with(no_prune));
+  sweep.add_algorithm("no-direct", isp_with(no_direct));
+  sweep.add_algorithm("flat-metric", isp_with(flat_metric));
+  sweep.add_algorithm("betweenness", isp_with(betweenness));
   for (int pairs = 1; pairs <= flags.get_int("pairs-max"); ++pairs) {
-    scenario::RunnerOptions ropt;
-    ropt.runs = static_cast<std::size_t>(flags.get_int("runs"));
-    ropt.seed = static_cast<std::uint64_t>(flags.get_int("seed")) +
-                static_cast<std::uint64_t>(pairs) * 1000;
-    ropt.require_feasible = true;
-    const auto result = scenario::run_experiment(
-        [&](util::Rng& rng) {
-          core::RecoveryProblem p;
-          p.graph = topology::bell_canada_like();
-          p.demands = scenario::far_apart_demands(
-              p.graph, static_cast<std::size_t>(pairs), flow, rng);
-          disruption::complete_destruction(p.graph);
-          return p;
-        },
-        algorithms, ropt);
-
-    auto series_row = [&](const char* metric) {
-      std::vector<std::string> row{std::to_string(pairs)};
-      for (const auto& name : names) {
-        row.push_back(
-            bench::fmt(result.per_algorithm.at(name).get(metric).mean()));
-      }
-      return row;
-    };
-    repairs.row(series_row("total_repairs"));
-    sat.row(series_row("satisfied_pct"));
-    std::printf("[ablation] pairs=%d done\n", pairs);
-    std::fflush(stdout);
+    sweep.add_point(std::to_string(pairs), [pairs, flow](util::Rng& rng) {
+      core::RecoveryProblem p;
+      p.graph = topology::bell_canada_like();
+      p.demands = scenario::far_apart_demands(
+          p.graph, static_cast<std::size_t>(pairs), flow, rng);
+      disruption::complete_destruction(p.graph);
+      return p;
+    });
   }
-  repairs.print();
-  sat.print();
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"ISP ablation: total repairs", {.metric = "total_repairs"},
+       ".repairs.csv"},
+      {"ISP ablation: satisfied demand %", {.metric = "satisfied_pct"},
+       ".satisfied.csv"}};
+  bench::preflight(flags, series);
+  bench::emit(sweep.run(), series, flags);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(argc, argv); }
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

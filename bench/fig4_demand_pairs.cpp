@@ -6,13 +6,8 @@
 // the ALL yardstick.  Expected shape (paper): repairs grow with pairs;
 // SRT fewest repairs but loses demand from 3 pairs on; ISP closest to OPT
 // with no loss; GRD-NC above GRD-COM above ISP in repairs.
-#include <functional>
-
 #include "bench/bench_common.hpp"
-#include "core/isp.hpp"
 #include "disruption/disruption.hpp"
-#include "heuristics/baselines.hpp"
-#include "heuristics/opt.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/topologies.hpp"
 
@@ -30,104 +25,40 @@ int run(int argc, char** argv) {
   flags.define("greedy-paths", "1500", "path pool cap per demand pair");
   if (!bench::parse_or_usage(flags, argc, argv)) return 0;
 
-  const int pairs_max = flags.get_int("pairs-max");
   const double flow = flags.get_double("flow");
-  const double opt_seconds = flags.get_double("opt-seconds");
-
-  scenario::RunnerOptions ropt;
-  ropt.runs = static_cast<std::size_t>(flags.get_int("runs"));
-  ropt.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  ropt.require_feasible = true;
-
   heuristics::GreedyOptions gopt;
   gopt.max_paths_per_pair =
       static_cast<std::size_t>(flags.get_int("greedy-paths"));
 
-  std::vector<std::pair<std::string, scenario::Algorithm>> algorithms = {
-      {"ISP",
-       [](const core::RecoveryProblem& p) {
-         return core::IspSolver(p).solve();
-       }},
-      {"OPT",
-       [&](const core::RecoveryProblem& p) {
-         heuristics::OptOptions oo;
-         oo.time_limit_seconds = opt_seconds;
-         oo.use_milp = opt_seconds > 0.0;
-         return heuristics::solve_opt(p, oo).solution;
-       }},
-      {"SRT",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_srt(p);
-       }},
-      {"GRD-COM",
-       [&](const core::RecoveryProblem& p) {
-         return heuristics::solve_grd_com(p, gopt);
-       }},
-      {"GRD-NC",
-       [&](const core::RecoveryProblem& p) {
-         return heuristics::solve_grd_nc(p, gopt);
-       }},
-      {"ALL",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_all(p);
-       }},
-  };
+  scenario::RunnerOptions ropt = bench::runner_options(flags);
+  ropt.require_feasible = true;
 
-  std::vector<std::string> names;
-  for (const auto& [name, fn] : algorithms) names.push_back(name);
-
-  const std::string csv = flags.get("csv");
-  auto make_header = [&](const char* x) {
-    std::vector<std::string> h{x};
-    h.insert(h.end(), names.begin(), names.end());
-    return h;
-  };
-  bench::ResultSink edges("Fig 4(a): edge repairs", make_header("pairs"),
-                          csv.empty() ? "" : csv + ".edges.csv");
-  bench::ResultSink nodes("Fig 4(b): node repairs", make_header("pairs"),
-                          csv.empty() ? "" : csv + ".nodes.csv");
-  bench::ResultSink total("Fig 4(c): total repairs", make_header("pairs"),
-                          csv.empty() ? "" : csv + ".total.csv");
-  bench::ResultSink loss("Fig 4(d): satisfied demand %", make_header("pairs"),
-                         csv.empty() ? "" : csv + ".satisfied.csv");
-
-  for (int pairs = 1; pairs <= pairs_max; ++pairs) {
-    ropt.seed = static_cast<std::uint64_t>(flags.get_int("seed")) +
-                static_cast<std::uint64_t>(pairs) * 1000;
-    const auto result = scenario::run_experiment(
-        [&](util::Rng& rng) {
-          core::RecoveryProblem p;
-          p.graph = topology::bell_canada_like();
-          p.demands = scenario::far_apart_demands(
-              p.graph, static_cast<std::size_t>(pairs), flow, rng);
-          disruption::complete_destruction(p.graph);
-          return p;
-        },
-        algorithms, ropt);
-
-    auto series_row = [&](const char* metric) {
-      std::vector<std::string> row{std::to_string(pairs)};
-      for (const auto& name : names) {
-        row.push_back(
-            bench::fmt(result.per_algorithm.at(name).get(metric).mean()));
-      }
-      return row;
-    };
-    edges.row(series_row("edge_repairs"));
-    nodes.row(series_row("node_repairs"));
-    total.row(series_row("total_repairs"));
-    loss.row(series_row("satisfied_pct"));
-    std::printf("[fig4] pairs=%d done (%zu runs)\n", pairs,
-                result.completed_runs);
-    std::fflush(stdout);
+  scenario::SweepRunner sweep("fig4", "pairs", ropt);
+  bench::add_paper_algorithms(sweep, flags.get_double("opt-seconds"), gopt);
+  for (int pairs = 1; pairs <= flags.get_int("pairs-max"); ++pairs) {
+    sweep.add_point(std::to_string(pairs), [pairs, flow](util::Rng& rng) {
+      core::RecoveryProblem p;
+      p.graph = topology::bell_canada_like();
+      p.demands = scenario::far_apart_demands(
+          p.graph, static_cast<std::size_t>(pairs), flow, rng);
+      disruption::complete_destruction(p.graph);
+      return p;
+    });
   }
-  edges.print();
-  nodes.print();
-  total.print();
-  loss.print();
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"Fig 4(a): edge repairs", {.metric = "edge_repairs"}, ".edges.csv"},
+      {"Fig 4(b): node repairs", {.metric = "node_repairs"}, ".nodes.csv"},
+      {"Fig 4(c): total repairs", {.metric = "total_repairs"}, ".total.csv"},
+      {"Fig 4(d): satisfied demand %", {.metric = "satisfied_pct"},
+       ".satisfied.csv"}};
+  bench::preflight(flags, series);
+  bench::emit(sweep.run(), series, flags);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(argc, argv); }
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

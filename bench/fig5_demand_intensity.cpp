@@ -6,10 +6,7 @@
 // bundles eagerly; SRT/GRD-COM lose demand as intensity crosses shared-path
 // capacity; ISP and GRD-NC never lose.
 #include "bench/bench_common.hpp"
-#include "core/isp.hpp"
 #include "disruption/disruption.hpp"
-#include "heuristics/baselines.hpp"
-#include "heuristics/opt.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/topologies.hpp"
 
@@ -26,91 +23,39 @@ int run(int argc, char** argv) {
   flags.define("greedy-paths", "1500", "path pool cap per demand pair");
   if (!bench::parse_or_usage(flags, argc, argv)) return 0;
 
-  const int pairs = flags.get_int("pairs");
-  const double opt_seconds = flags.get_double("opt-seconds");
+  const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
   heuristics::GreedyOptions gopt;
   gopt.max_paths_per_pair =
       static_cast<std::size_t>(flags.get_int("greedy-paths"));
 
-  std::vector<std::pair<std::string, scenario::Algorithm>> algorithms = {
-      {"ISP",
-       [](const core::RecoveryProblem& p) {
-         return core::IspSolver(p).solve();
-       }},
-      {"OPT",
-       [&](const core::RecoveryProblem& p) {
-         heuristics::OptOptions oo;
-         oo.time_limit_seconds = opt_seconds;
-         oo.use_milp = opt_seconds > 0.0;
-         return heuristics::solve_opt(p, oo).solution;
-       }},
-      {"SRT",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_srt(p);
-       }},
-      {"GRD-COM",
-       [&](const core::RecoveryProblem& p) {
-         return heuristics::solve_grd_com(p, gopt);
-       }},
-      {"GRD-NC",
-       [&](const core::RecoveryProblem& p) {
-         return heuristics::solve_grd_nc(p, gopt);
-       }},
-      {"ALL",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_all(p);
-       }},
-  };
-  std::vector<std::string> names;
-  for (const auto& [name, fn] : algorithms) names.push_back(name);
+  scenario::RunnerOptions ropt = bench::runner_options(flags);
+  ropt.require_feasible = true;
 
-  const std::string csv = flags.get("csv");
-  auto make_header = [&](const char* x) {
-    std::vector<std::string> h{x};
-    h.insert(h.end(), names.begin(), names.end());
-    return h;
-  };
-  bench::ResultSink total("Fig 5(a): total repairs", make_header("flow"),
-                          csv.empty() ? "" : csv + ".total.csv");
-  bench::ResultSink loss("Fig 5(b): satisfied demand %", make_header("flow"),
-                         csv.empty() ? "" : csv + ".satisfied.csv");
-
+  scenario::SweepRunner sweep("fig5", "flow", ropt);
+  bench::add_paper_algorithms(sweep, flags.get_double("opt-seconds"), gopt);
   for (double flow : flags.get_double_list("flows")) {
-    scenario::RunnerOptions ropt;
-    ropt.runs = static_cast<std::size_t>(flags.get_int("runs"));
-    ropt.seed = static_cast<std::uint64_t>(flags.get_int("seed")) +
-                static_cast<std::uint64_t>(flow * 100);
-    ropt.require_feasible = true;
-    const auto result = scenario::run_experiment(
-        [&](util::Rng& rng) {
-          core::RecoveryProblem p;
-          p.graph = topology::bell_canada_like();
-          p.demands = scenario::far_apart_demands(
-              p.graph, static_cast<std::size_t>(pairs), flow, rng);
-          disruption::complete_destruction(p.graph);
-          return p;
-        },
-        algorithms, ropt);
-
-    auto series_row = [&](const char* metric) {
-      std::vector<std::string> row{bench::fmt(flow, 0)};
-      for (const auto& name : names) {
-        row.push_back(
-            bench::fmt(result.per_algorithm.at(name).get(metric).mean()));
-      }
-      return row;
-    };
-    total.row(series_row("total_repairs"));
-    loss.row(series_row("satisfied_pct"));
-    std::printf("[fig5] flow=%.0f done (%zu runs)\n", flow,
-                result.completed_runs);
-    std::fflush(stdout);
+    sweep.add_point(util::format_double(flow, 0),
+                    [pairs, flow](util::Rng& rng) {
+                      core::RecoveryProblem p;
+                      p.graph = topology::bell_canada_like();
+                      p.demands =
+                          scenario::far_apart_demands(p.graph, pairs, flow, rng);
+                      disruption::complete_destruction(p.graph);
+                      return p;
+                    });
   }
-  total.print();
-  loss.print();
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"Fig 5(a): total repairs", {.metric = "total_repairs"}, ".total.csv"},
+      {"Fig 5(b): satisfied demand %", {.metric = "satisfied_pct"},
+       ".satisfied.csv"}};
+  bench::preflight(flags, series);
+  bench::emit(sweep.run(), series, flags);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(argc, argv); }
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

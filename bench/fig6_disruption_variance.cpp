@@ -5,10 +5,7 @@
 // variance; ISP stays close to OPT throughout; greedy heuristics repair
 // noticeably more; SRT/GRD-COM lose demand on larger disasters.
 #include "bench/bench_common.hpp"
-#include "core/isp.hpp"
 #include "disruption/disruption.hpp"
-#include "heuristics/baselines.hpp"
-#include "heuristics/opt.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/topologies.hpp"
 
@@ -27,99 +24,45 @@ int run(int argc, char** argv) {
   flags.define("greedy-paths", "1500", "path pool cap per demand pair");
   if (!bench::parse_or_usage(flags, argc, argv)) return 0;
 
-  const int pairs = flags.get_int("pairs");
+  const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
   const double flow = flags.get_double("flow");
-  const double opt_seconds = flags.get_double("opt-seconds");
   heuristics::GreedyOptions gopt;
   gopt.max_paths_per_pair =
       static_cast<std::size_t>(flags.get_int("greedy-paths"));
 
-  std::vector<std::pair<std::string, scenario::Algorithm>> algorithms = {
-      {"ISP",
-       [](const core::RecoveryProblem& p) {
-         return core::IspSolver(p).solve();
-       }},
-      {"OPT",
-       [&](const core::RecoveryProblem& p) {
-         heuristics::OptOptions oo;
-         oo.time_limit_seconds = opt_seconds;
-         oo.use_milp = opt_seconds > 0.0;
-         return heuristics::solve_opt(p, oo).solution;
-       }},
-      {"SRT",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_srt(p);
-       }},
-      {"GRD-COM",
-       [&](const core::RecoveryProblem& p) {
-         return heuristics::solve_grd_com(p, gopt);
-       }},
-      {"GRD-NC",
-       [&](const core::RecoveryProblem& p) {
-         return heuristics::solve_grd_nc(p, gopt);
-       }},
-      {"ALL",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_all(p);
-       }},
-  };
-  std::vector<std::string> names;
-  for (const auto& [name, fn] : algorithms) names.push_back(name);
+  scenario::RunnerOptions ropt = bench::runner_options(flags);
+  ropt.require_feasible = true;
 
-  const std::string csv = flags.get("csv");
-  std::vector<std::string> header{"variance"};
-  header.insert(header.end(), names.begin(), names.end());
-  header.push_back("broken(ALL line)");
-  bench::ResultSink total("Fig 6(a): total repairs", header,
-                          csv.empty() ? "" : csv + ".total.csv");
-  std::vector<std::string> header_loss{"variance"};
-  header_loss.insert(header_loss.end(), names.begin(), names.end());
-  bench::ResultSink loss("Fig 6(b): satisfied demand %", header_loss,
-                         csv.empty() ? "" : csv + ".satisfied.csv");
-
+  scenario::SweepRunner sweep("fig6", "variance", ropt);
+  bench::add_paper_algorithms(sweep, flags.get_double("opt-seconds"), gopt);
   for (double variance : flags.get_double_list("variances")) {
-    scenario::RunnerOptions ropt;
-    ropt.runs = static_cast<std::size_t>(flags.get_int("runs"));
-    ropt.seed = static_cast<std::uint64_t>(flags.get_int("seed")) +
-                static_cast<std::uint64_t>(variance * 10);
-    ropt.require_feasible = true;
-    const auto result = scenario::run_experiment(
-        [&](util::Rng& rng) {
-          core::RecoveryProblem p;
-          p.graph = topology::bell_canada_like();
-          p.demands = scenario::far_apart_demands(
-              p.graph, static_cast<std::size_t>(pairs), flow, rng);
-          disruption::GaussianDisasterOptions dopt;
-          dopt.variance = variance;
-          util::Rng disaster_rng = rng.fork();
-          disruption::gaussian_disaster(p.graph, dopt, disaster_rng);
-          return p;
-        },
-        algorithms, ropt);
-
-    std::vector<std::string> row{bench::fmt(variance, 0)};
-    for (const auto& name : names) {
-      row.push_back(bench::fmt(
-          result.per_algorithm.at(name).get("total_repairs").mean()));
-    }
-    row.push_back(bench::fmt(result.instance.get("broken_total").mean()));
-    total.row(row);
-
-    std::vector<std::string> lrow{bench::fmt(variance, 0)};
-    for (const auto& name : names) {
-      lrow.push_back(bench::fmt(
-          result.per_algorithm.at(name).get("satisfied_pct").mean()));
-    }
-    loss.row(lrow);
-    std::printf("[fig6] variance=%.0f done (%zu runs)\n", variance,
-                result.completed_runs);
-    std::fflush(stdout);
+    sweep.add_point(util::format_double(variance, 0),
+                    [pairs, flow, variance](util::Rng& rng) {
+                      core::RecoveryProblem p;
+                      p.graph = topology::bell_canada_like();
+                      p.demands =
+                          scenario::far_apart_demands(p.graph, pairs, flow, rng);
+                      disruption::GaussianDisasterOptions dopt;
+                      dopt.variance = variance;
+                      util::Rng disaster_rng = rng.fork();
+                      disruption::gaussian_disaster(p.graph, dopt, disaster_rng);
+                      return p;
+                    });
   }
-  total.print();
-  loss.print();
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"Fig 6(a): total repairs",
+       {.metric = "total_repairs", .instance_metrics = {"broken_total"}},
+       ".total.csv"},
+      {"Fig 6(b): satisfied demand %", {.metric = "satisfied_pct"},
+       ".satisfied.csv"}};
+  bench::preflight(flags, series);
+  bench::emit(sweep.run(), series, flags);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(argc, argv); }
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

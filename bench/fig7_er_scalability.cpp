@@ -9,16 +9,16 @@
 // ISP close to OPT on sparse (mostly planar) graphs, the gap widening as p
 // grows and the graph becomes strongly non-planar, SRT above both; at p=1
 // all algorithms find the trivial 3-per-pair solution.
+//
+// Note: the time series measures real solver wall clock, so this driver
+// defaults to --threads 1 — concurrent sibling solves would contend for
+// cores and inflate the very metric the figure plots.  Raising --threads
+// keeps the repair series byte-identical but biases the time series.
 #include "bench/bench_common.hpp"
-#include "core/isp.hpp"
 #include "disruption/disruption.hpp"
 #include "graph/traversal.hpp"
-#include "heuristics/baselines.hpp"
-#include "heuristics/opt.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/topologies.hpp"
-#include "util/stats.hpp"
-#include "util/timer.hpp"
 
 namespace {
 
@@ -27,6 +27,9 @@ using namespace netrec;
 int run(int argc, char** argv) {
   util::Flags flags;
   bench::declare_common_flags(flags, /*default_runs=*/2);
+  flags.define("threads", "1",
+               "worker threads (default 1: concurrent solves would inflate "
+               "the Fig 7a time series)");
   flags.define("nodes", "100", "Erdos-Renyi node count");
   flags.define("probabilities", "0.1,0.3,0.5,0.7,0.9,1.0",
                "edge probabilities swept");
@@ -37,76 +40,58 @@ int run(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes"));
   const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
   const double capacity = flags.get_double("capacity");
-  const std::string csv = flags.get("csv");
 
-  bench::ResultSink times(
-      "Fig 7(a): execution time (seconds)",
-      {"p", "ISP", "SRT", "OPT(exact)"},
-      csv.empty() ? "" : csv + ".time.csv");
-  bench::ResultSink repairs(
-      "Fig 7(b): total repairs",
-      {"p", "ISP", "SRT", "OPT(exact)"},
-      csv.empty() ? "" : csv + ".repairs.csv");
-
-  for (double p_edge : flags.get_double_list("probabilities")) {
-    util::RunningStats isp_time, srt_time, opt_time;
-    util::RunningStats isp_repairs, srt_repairs, opt_repairs;
-    util::Rng master(static_cast<std::uint64_t>(flags.get_int("seed")) +
-                     static_cast<std::uint64_t>(p_edge * 1000));
-    const auto runs = static_cast<std::size_t>(flags.get_int("runs"));
-    for (std::size_t run_idx = 0; run_idx < runs; ++run_idx) {
-      util::Rng rng = master.fork();
-      core::RecoveryProblem problem;
-      topology::ErdosRenyiOptions eopt;
-      eopt.nodes = nodes;
-      eopt.edge_probability = p_edge;
-      eopt.capacity = capacity;
-      // Redraw until connected (sparse draws can disconnect).
-      std::size_t attempts = 0;
-      do {
-        problem.graph = topology::erdos_renyi(eopt, rng);
-      } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
-      util::Rng demand_rng = rng.fork();
-      problem.demands =
-          scenario::far_apart_demands(problem.graph, pairs, 1.0, demand_rng);
-      disruption::complete_destruction(problem.graph);
-
-      {
-        util::Timer t;
-        const auto s = core::IspSolver(problem).solve();
-        isp_time.add(t.elapsed_seconds());
-        isp_repairs.add(static_cast<double>(s.total_repairs()));
-      }
-      {
-        util::Timer t;
-        const auto s = heuristics::solve_srt(problem);
-        srt_time.add(t.elapsed_seconds());
-        srt_repairs.add(static_cast<double>(s.total_repairs()));
-      }
-      {
-        util::Timer t;
+  scenario::SweepRunner sweep("fig7", "p", bench::runner_options(flags));
+  sweep.add_algorithm(
+      "ISP", [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        return core::IspSolver(p).solve();
+      });
+  sweep.add_algorithm(
+      "SRT", [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        return heuristics::solve_srt(p);
+      });
+  sweep.add_algorithm(
+      "OPT(exact)", [](const core::RecoveryProblem& p, scenario::RunContext&) {
         heuristics::OptOptions oo;
         oo.use_milp = false;  // the generic MILP is intractable here
         oo.isp_restarts = 0;
-        const auto s = heuristics::solve_opt(problem, oo);
-        opt_time.add(t.elapsed_seconds());
-        opt_repairs.add(static_cast<double>(s.solution.total_repairs()));
-      }
-    }
-    times.row({bench::fmt(p_edge, 2), bench::fmt(isp_time.mean(), 4),
-               bench::fmt(srt_time.mean(), 4),
-               bench::fmt(opt_time.mean(), 4)});
-    repairs.row({bench::fmt(p_edge, 2), bench::fmt(isp_repairs.mean()),
-                 bench::fmt(srt_repairs.mean()),
-                 bench::fmt(opt_repairs.mean())});
-    std::printf("[fig7] p=%.2f done\n", p_edge);
-    std::fflush(stdout);
+        return heuristics::solve_opt(p, oo).solution;
+      });
+  for (double p_edge : flags.get_double_list("probabilities")) {
+    sweep.add_point(
+        util::format_double(p_edge, 2),
+        [nodes, pairs, capacity, p_edge](util::Rng& rng) {
+          core::RecoveryProblem problem;
+          topology::ErdosRenyiOptions eopt;
+          eopt.nodes = nodes;
+          eopt.edge_probability = p_edge;
+          eopt.capacity = capacity;
+          // Redraw until connected (sparse draws can disconnect).
+          std::size_t attempts = 0;
+          do {
+            problem.graph = topology::erdos_renyi(eopt, rng);
+          } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
+          util::Rng demand_rng = rng.fork();
+          problem.demands = scenario::far_apart_demands(problem.graph, pairs,
+                                                        1.0, demand_rng);
+          disruption::complete_destruction(problem.graph);
+          return problem;
+        });
   }
-  times.print();
-  repairs.print();
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"Fig 7(a): execution time (seconds)",
+       {.metric = "wall_seconds", .precision = 4},
+       ".time.csv"},
+      {"Fig 7(b): total repairs", {.metric = "total_repairs"},
+       ".repairs.csv"}};
+  bench::preflight(flags, series);
+  bench::emit(sweep.run(), series, flags);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(argc, argv); }
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

@@ -8,10 +8,7 @@
 // OPT at this scale is best-found (randomised ISP restarts + local search);
 // EXPERIMENTS.md carries the caveat.
 #include "bench/bench_common.hpp"
-#include "core/isp.hpp"
 #include "disruption/disruption.hpp"
-#include "heuristics/baselines.hpp"
-#include "heuristics/opt.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/topologies.hpp"
 
@@ -28,9 +25,7 @@ int run(int argc, char** argv) {
   flags.define("topology-seed", "77", "CAIDA-like generator seed");
   if (!bench::parse_or_usage(flags, argc, argv)) return 0;
 
-  const int pairs_max = flags.get_int("pairs-max");
   const double flow = flags.get_double("flow");
-  const std::string csv = flags.get("csv");
 
   topology::CaidaLikeOptions copt;
   copt.capacity = flags.get_double("capacity");
@@ -40,68 +35,47 @@ int run(int argc, char** argv) {
   std::printf("[fig9] topology: %zu nodes, %zu edges\n", base.num_nodes(),
               base.num_edges());
 
-  std::vector<std::pair<std::string, scenario::Algorithm>> algorithms = {
-      {"ISP",
-       [](const core::RecoveryProblem& p) {
-         return core::IspSolver(p).solve();
-       }},
-      {"OPT",
-       [](const core::RecoveryProblem& p) {
-         heuristics::OptOptions oo;
-         oo.use_milp = false;  // out of reach at 825 nodes; best-found
-         return heuristics::solve_opt(p, oo).solution;
-       }},
-      {"SRT",
-       [](const core::RecoveryProblem& p) {
-         return heuristics::solve_srt(p);
-       }},
-  };
-  std::vector<std::string> names;
-  for (const auto& [name, fn] : algorithms) names.push_back(name);
+  scenario::RunnerOptions ropt = bench::runner_options(flags);
+  ropt.require_feasible = true;
 
-  std::vector<std::string> header{"pairs"};
-  header.insert(header.end(), names.begin(), names.end());
-  bench::ResultSink total("Fig 9(a): total repairs", header,
-                          csv.empty() ? "" : csv + ".total.csv");
-  bench::ResultSink loss("Fig 9(b): satisfied demand %", header,
-                         csv.empty() ? "" : csv + ".satisfied.csv");
-
-  for (int pairs = 1; pairs <= pairs_max; ++pairs) {
-    scenario::RunnerOptions ropt;
-    ropt.runs = static_cast<std::size_t>(flags.get_int("runs"));
-    ropt.seed = static_cast<std::uint64_t>(flags.get_int("seed")) +
-                static_cast<std::uint64_t>(pairs) * 1000;
-    ropt.require_feasible = true;
-    const auto result = scenario::run_experiment(
-        [&](util::Rng& rng) {
-          core::RecoveryProblem p;
-          p.graph = base;
-          p.demands = scenario::far_apart_demands(
-              p.graph, static_cast<std::size_t>(pairs), flow, rng);
-          disruption::complete_destruction(p.graph);
-          return p;
-        },
-        algorithms, ropt);
-
-    auto series_row = [&](const char* metric) {
-      std::vector<std::string> row{std::to_string(pairs)};
-      for (const auto& name : names) {
-        row.push_back(
-            bench::fmt(result.per_algorithm.at(name).get(metric).mean()));
-      }
-      return row;
-    };
-    total.row(series_row("total_repairs"));
-    loss.row(series_row("satisfied_pct"));
-    std::printf("[fig9] pairs=%d done (%zu runs)\n", pairs,
-                result.completed_runs);
-    std::fflush(stdout);
+  scenario::SweepRunner sweep("fig9", "pairs", ropt);
+  sweep.add_algorithm(
+      "ISP", [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        return core::IspSolver(p).solve();
+      });
+  sweep.add_algorithm(
+      "OPT", [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        heuristics::OptOptions oo;
+        oo.use_milp = false;  // out of reach at 825 nodes; best-found
+        return heuristics::solve_opt(p, oo).solution;
+      });
+  sweep.add_algorithm(
+      "SRT", [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        return heuristics::solve_srt(p);
+      });
+  for (int pairs = 1; pairs <= flags.get_int("pairs-max"); ++pairs) {
+    sweep.add_point(std::to_string(pairs), [&base, pairs, flow](
+                                               util::Rng& rng) {
+      core::RecoveryProblem p;
+      p.graph = base;
+      p.demands = scenario::far_apart_demands(
+          p.graph, static_cast<std::size_t>(pairs), flow, rng);
+      disruption::complete_destruction(p.graph);
+      return p;
+    });
   }
-  total.print();
-  loss.print();
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"Fig 9(a): total repairs", {.metric = "total_repairs"}, ".total.csv"},
+      {"Fig 9(b): satisfied demand %", {.metric = "satisfied_pct"},
+       ".satisfied.csv"}};
+  bench::preflight(flags, series);
+  bench::emit(sweep.run(), series, flags);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(argc, argv); }
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

@@ -35,8 +35,11 @@
 #include "mcf/split.hpp"
 #include "mcf/types.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
 #include "steiner/steiner.hpp"
 #include "topology/topologies.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/traversal.hpp"
@@ -74,28 +75,89 @@ void record_solution(const core::RecoverySolution& solution,
   metrics.add("wall_seconds", solution.wall_seconds);
 }
 
+namespace {
+
+// Odd multiplier (golden-ratio constant) decorrelating per-algorithm streams
+// derived from one run seed; Rng's SplitMix64 seeding scrambles the rest.
+constexpr std::uint64_t kAlgoSalt = 0x9e3779b97f4a7c15ULL;
+
+struct RunSlot {
+  core::RecoveryProblem problem;
+  bool ok = false;
+};
+
+/// Builds one run's problem, redrawing infeasible instances.  Every attempt
+/// forks a child stream from the run's own seed, so the result depends only
+/// on (run_seed, options) — never on which thread executes the build.
+RunSlot build_run(const ProblemFactory& factory, const RunnerOptions& options,
+                  std::size_t run, std::uint64_t run_seed) {
+  util::Rng run_master(run_seed);
+  RunSlot slot;
+  for (std::size_t attempt = 0; attempt <= options.max_redraws; ++attempt) {
+    util::Rng attempt_rng = run_master.fork();
+    slot.problem = factory(attempt_rng);
+    if (!options.require_feasible ||
+        slot.problem.feasible_when_fully_repaired()) {
+      slot.ok = true;
+      return slot;
+    }
+  }
+  NETREC_LOG(kWarn) << "run " << run << ": no feasible draw found; skipping";
+  return slot;
+}
+
+}  // namespace
+
 AggregateResult run_experiment(
     const ProblemFactory& factory,
     const std::vector<std::pair<std::string, Algorithm>>& algorithms,
     const RunnerOptions& options) {
-  AggregateResult out;
+  // Per-run seeds are fixed serially up front; everything downstream derives
+  // from them, which is what makes the parallel schedule irrelevant to the
+  // aggregated output.
   util::Rng master(options.seed);
-  for (std::size_t run = 0; run < options.runs; ++run) {
-    util::Rng run_rng = master.fork();
-    core::RecoveryProblem problem = factory(run_rng);
-    if (options.require_feasible) {
-      std::size_t redraws = 0;
-      while (!problem.feasible_when_fully_repaired() &&
-             redraws++ < options.max_redraws) {
-        util::Rng retry_rng = master.fork();
-        problem = factory(retry_rng);
-      }
-      if (!problem.feasible_when_fully_repaired()) {
-        NETREC_LOG(kWarn) << "run " << run
-                          << ": no feasible draw found; skipping";
-        continue;
-      }
+  std::vector<std::uint64_t> run_seeds(options.runs);
+  for (auto& seed : run_seeds) seed = master.next();
+
+  std::vector<RunSlot> slots(options.runs);
+  const std::size_t num_algorithms = algorithms.size();
+  std::vector<core::RecoverySolution> solutions(options.runs * num_algorithms);
+
+  const auto build = [&](std::size_t run) {
+    slots[run] = build_run(factory, options, run, run_seeds[run]);
+  };
+  const auto solve = [&](std::size_t task) {
+    const std::size_t run = task / num_algorithms;
+    const std::size_t alg = task % num_algorithms;
+    if (!slots[run].ok) return;
+    RunContext ctx;
+    ctx.run_index = run;
+    ctx.run_seed = run_seeds[run];
+    ctx.rng.reseed(run_seeds[run] +
+                   kAlgoSalt * (static_cast<std::uint64_t>(alg) + 1));
+    solutions[task] = algorithms[alg].second(slots[run].problem, ctx);
+  };
+
+  std::optional<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool =
+      util::ThreadPool::acquire(owned_pool, options.threads, options.pool);
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(options.runs, build);
+    pool->parallel_for(options.runs * num_algorithms, solve);
+  } else {
+    for (std::size_t run = 0; run < options.runs; ++run) build(run);
+    for (std::size_t task = 0; task < options.runs * num_algorithms; ++task) {
+      solve(task);
     }
+  }
+
+  // Serial merge in (run, algorithm) order: Welford accumulation is order
+  // sensitive in floating point, so the merge order must not depend on task
+  // completion order.
+  AggregateResult out;
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    if (!slots[run].ok) continue;
+    const auto& problem = slots[run].problem;
     out.instance.add("broken_nodes",
                      static_cast<double>(problem.graph.num_broken_nodes()));
     out.instance.add("broken_edges",
@@ -104,9 +166,9 @@ AggregateResult run_experiment(
         "broken_total",
         static_cast<double>(problem.graph.num_broken_nodes() +
                             problem.graph.num_broken_edges()));
-    for (const auto& [name, algorithm] : algorithms) {
-      const core::RecoverySolution solution = algorithm(problem);
-      record_solution(solution, out.per_algorithm[name]);
+    for (std::size_t alg = 0; alg < num_algorithms; ++alg) {
+      record_solution(solutions[run * num_algorithms + alg],
+                      out.per_algorithm[algorithms[alg].first]);
     }
     ++out.completed_runs;
   }

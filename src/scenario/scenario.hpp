@@ -1,20 +1,31 @@
-// Experiment scaffolding shared by the bench drivers (paper Section VII).
+// Parallel scenario engine shared by the bench drivers (paper Section VII).
 //
 // Demand graphs follow the paper's construction: pairs sampled among nodes
 // whose hop distance is at least half the supply graph's diameter, each with
-// a fixed flow requirement.  The runner executes a named set of algorithms
+// a fixed flow requirement.  The engine executes a named set of algorithms
 // over N seeded runs of a scenario factory and aggregates the Fig. 4-9
 // metrics (edge/node/total repairs, satisfied %, wall seconds).
+//
+// Parallelism and determinism: the runs x algorithms matrix executes on a
+// util::ThreadPool, but every random stream is derived from per-run seeds
+// fixed *before* any task is submitted (util::Rng seed-splitting), and
+// metrics are merged serially in (run, algorithm) order after the matrix
+// completes.  A given master seed therefore produces bit-identical
+// AggregateResults at any thread count.  The only non-deterministic metric
+// is wall_seconds, which measures real solver time.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/problem.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netrec::scenario {
 
@@ -26,9 +37,21 @@ std::vector<mcf::Demand> far_apart_demands(const graph::Graph& g,
                                            util::Rng& rng,
                                            double min_distance_factor = 0.5);
 
-/// One algorithm under test: takes the problem, returns a scored solution.
-using Algorithm =
-    std::function<core::RecoverySolution(const core::RecoveryProblem&)>;
+/// Per-task context handed to every (run, algorithm) execution.  run_seed is
+/// stable for the run regardless of thread count or execution order, so
+/// algorithms needing run-correlated randomness (e.g. two variants that must
+/// see the same samples) can derive identical streams from it; rng is a
+/// private stream unique to this (run, algorithm) cell.
+struct RunContext {
+  std::size_t run_index = 0;
+  std::uint64_t run_seed = 0;
+  util::Rng rng;
+};
+
+/// One algorithm under test: takes the problem (shared across algorithms of
+/// the same run) and the task context, returns a scored solution.
+using Algorithm = std::function<core::RecoverySolution(
+    const core::RecoveryProblem&, RunContext&)>;
 
 /// Builds the problem for one run (seeded independently per run).
 using ProblemFactory = std::function<core::RecoveryProblem(util::Rng&)>;
@@ -42,6 +65,13 @@ struct RunnerOptions {
   /// regional cut and are re-rolled, up to `max_redraws` per run).
   bool require_feasible = false;
   std::size_t max_redraws = 25;
+  /// Worker threads for the runs x algorithms matrix; 0 resolves via
+  /// NETREC_THREADS / hardware_concurrency (util::ThreadPool).  Ignored
+  /// when `pool` is set.
+  std::size_t threads = 0;
+  /// Borrowed pool to run on (not owned); lets a sweep share one pool
+  /// across its points instead of re-spawning workers per point.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct AggregateResult {
@@ -54,6 +84,8 @@ struct AggregateResult {
 };
 
 /// Runs every algorithm on `runs` seeded instances and aggregates metrics.
+/// Problem construction is parallel over runs, solving is parallel over the
+/// runs x algorithms matrix; results are deterministic per master seed.
 AggregateResult run_experiment(
     const ProblemFactory& factory,
     const std::vector<std::pair<std::string, Algorithm>>& algorithms,

@@ -50,11 +50,21 @@ std::string Flags::get(const std::string& name) const {
 }
 
 int Flags::get_int(const std::string& name) const {
-  return std::stoi(get(name));
+  try {
+    return std::stoi(get(name));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                get(name) + "'");
+  }
 }
 
 double Flags::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  try {
+    return std::stod(get(name));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                get(name) + "'");
+  }
 }
 
 bool Flags::get_bool(const std::string& name) const {

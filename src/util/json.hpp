@@ -1,0 +1,82 @@
+// Minimal JSON value type with serialisation and parsing.
+//
+// Backs the scenario engine's structured emission (SweepRunner --json) so
+// sweep results can be consumed by external plotting/analysis tooling, and
+// parsed back for round-trip tests.  Deliberately small: objects keep
+// insertion order (emission is deterministic), numbers are doubles, and the
+// parser accepts exactly the JSON this writer produces plus standard
+// whitespace — enough for our own artefacts, not a general validator.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netrec::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(std::size_t value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access; push_back switches a null value to an array.
+  void push_back(Json value);
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+
+  /// Object access; set() switches a null value to an object and keeps
+  /// first-insertion key order for deterministic emission.
+  void set(const std::string& key, Json value);
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  const std::vector<std::string>& keys() const;
+
+  /// Compact serialisation (no spaces); `indent > 0` pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document; throws std::runtime_error on malformed input.
+  static Json parse(const std::string& text);
+
+  /// Structural equality (numbers compared exactly).
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::string> object_keys_;
+  std::map<std::string, Json> object_;
+};
+
+/// Writes `value.dump(2)` to `path`; throws std::runtime_error on failure.
+void write_json_file(const std::string& path, const Json& value);
+
+/// Reads and parses a JSON file; throws std::runtime_error on failure.
+Json read_json_file(const std::string& path);
+
+}  // namespace netrec::util

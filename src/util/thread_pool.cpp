@@ -1,0 +1,131 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace netrec::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_threads(threads);
+  workers_.reserve(count);
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed spawn (std::system_error under resource limits) must not
+    // destroy joinable threads — that would call std::terminate.  Shut the
+    // partial pool down and let the caller see the original exception.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // First exception wins; later ones are dropped (iterations still run).
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> remaining{n};
+  std::mutex done_mutex;
+  std::condition_variable done;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  std::size_t resolved = requested;
+  if (resolved == 0) {
+    if (const char* env = std::getenv("NETREC_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) resolved = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (resolved == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    resolved = hw > 0 ? hw : 1;
+  }
+  if (resolved > kMaxThreads) {
+    throw std::invalid_argument(
+        "thread count " + std::to_string(resolved) + " exceeds the maximum " +
+        std::to_string(kMaxThreads) + " (typo?)");
+  }
+  return resolved;
+}
+
+ThreadPool* ThreadPool::acquire(std::optional<ThreadPool>& storage,
+                                std::size_t threads, ThreadPool* existing) {
+  if (existing != nullptr) return existing;
+  if (resolve_threads(threads) <= 1) return nullptr;
+  storage.emplace(threads);
+  return &*storage;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace netrec::util

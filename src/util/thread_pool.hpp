@@ -1,0 +1,76 @@
+// Fixed-size worker pool behind the parallel scenario engine.
+//
+// The pool is a plain task queue (no work stealing: scenario tasks are
+// coarse — one (run, algorithm) solve each — so a single mutex-protected
+// queue never becomes the bottleneck).  Determinism is the caller's job:
+// tasks must write to pre-assigned slots and derive randomness from seeds
+// fixed before submission, never from execution order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace netrec::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means default_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; runs on some worker at an unspecified time.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n).  Blocks until all iterations complete and
+  /// rethrows the first exception any iteration produced.  Safe to call from
+  /// one thread at a time; iterations may not submit to the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Thread count resolution used across the project: the explicit request
+  /// if positive, else the NETREC_THREADS environment variable if set and
+  /// positive, else std::thread::hardware_concurrency() (minimum 1).
+  /// Throws std::invalid_argument above kMaxThreads (typo guard).
+  static std::size_t resolve_threads(std::size_t requested = 0);
+
+  static std::size_t default_threads() { return resolve_threads(0); }
+
+  /// Upper bound on worker counts; requests beyond it are almost certainly
+  /// flag typos and fail fast instead of exhausting the process.
+  static constexpr std::size_t kMaxThreads = 512;
+
+  /// Pool-selection policy shared by run_experiment and SweepRunner:
+  /// returns `existing` when the caller already has a pool, spawns one in
+  /// `storage` when the resolved count warrants parallelism, and returns
+  /// nullptr for serial execution.
+  static ThreadPool* acquire(std::optional<ThreadPool>& storage,
+                             std::size_t threads, ThreadPool* existing);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace netrec::util

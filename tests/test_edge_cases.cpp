@@ -170,7 +170,7 @@ TEST(Scenario, InfeasibleFactoryIsSkippedGracefully) {
         return p;
       },
       {{"noop",
-        [](const core::RecoveryProblem& problem) {
+        [](const core::RecoveryProblem& problem, scenario::RunContext&) {
           core::RecoverySolution s;
           core::score_solution(problem, s);
           return s;

@@ -1,0 +1,104 @@
+// Tests for the minimal JSON writer/parser behind structured sweep output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace netrec::util {
+namespace {
+
+TEST(Json, ScalarsDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(-2.5).dump(), "-2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringsAreEscaped) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  obj.set("zeta", 9);  // overwrite keeps the original position
+  EXPECT_EQ(obj.dump(), "{\"zeta\":9,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, ParseRoundTripsNestedDocuments) {
+  Json doc = Json::object();
+  doc.set("name", "sweep");
+  doc.set("count", 20);
+  doc.set("exact", 0.1);
+  doc.set("flag", true);
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json inner = Json::object();
+  inner.set("mean", 13.25);
+  arr.push_back(inner);
+  doc.set("items", arr);
+
+  const Json parsed = Json::parse(doc.dump());
+  EXPECT_TRUE(parsed == doc);
+  const Json pretty_parsed = Json::parse(doc.dump(2));
+  EXPECT_TRUE(pretty_parsed == doc);
+  EXPECT_EQ(parsed.at("items").at(2).at("mean").as_number(), 13.25);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double v : {0.0, -0.0, 1.0 / 3.0, 1e-9, 123456789.123456,
+                         -2.2250738585072014e-308, 9007199254740993.0}) {
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_EQ(parsed.as_number(), v) << "value " << v;
+  }
+}
+
+TEST(Json, ParseHandlesWhitespaceAndEscapes) {
+  const Json parsed =
+      Json::parse("  { \"a\\u0041\" : [ true , null ] }  ");
+  EXPECT_TRUE(parsed.contains("aA"));
+  EXPECT_EQ(parsed.at("aA").size(), 2u);
+  EXPECT_TRUE(parsed.at("aA").at(0).as_bool());
+  EXPECT_TRUE(parsed.at("aA").at(1).is_null());
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).as_string(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_number(), std::runtime_error);
+  EXPECT_THROW(Json(true).at("k"), std::runtime_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.at("missing"), std::runtime_error);
+}
+
+TEST(Json, FileRoundTrip) {
+  Json doc = Json::object();
+  doc.set("answer", 42);
+  const std::string path =
+      ::testing::TempDir() + "netrec_json_roundtrip.json";
+  write_json_file(path, doc);
+  const Json loaded = read_json_file(path);
+  EXPECT_TRUE(loaded == doc);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netrec::util

@@ -1,0 +1,248 @@
+// Tests for the parallel scenario engine: thread-count invariance of
+// aggregated results, per-task RNG determinism, far-apart demand sampling,
+// and SweepRunner CSV/JSON emission round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "disruption/disruption.hpp"
+#include "heuristics/baselines.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "topology/topologies.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace netrec {
+namespace {
+
+scenario::ProblemFactory bell_factory(std::size_t pairs, double flow) {
+  return [pairs, flow](util::Rng& rng) {
+    core::RecoveryProblem p;
+    p.graph = topology::bell_canada_like();
+    p.demands = scenario::far_apart_demands(p.graph, pairs, flow, rng);
+    disruption::complete_destruction(p.graph);
+    return p;
+  };
+}
+
+/// Algorithms for the determinism tests: a real deterministic solver plus a
+/// synthetic one that leaks its private RNG stream into a metric, so any
+/// schedule-dependent seeding shows up as a mean mismatch.
+std::vector<std::pair<std::string, scenario::Algorithm>> test_algorithms() {
+  return {
+      {"SRT",
+       [](const core::RecoveryProblem& p, scenario::RunContext&) {
+         return heuristics::solve_srt(p);
+       }},
+      {"rng-probe",
+       [](const core::RecoveryProblem& p, scenario::RunContext& ctx) {
+         core::RecoverySolution s;
+         s.algorithm = "rng-probe";
+         core::score_solution(p, s);
+         s.repair_cost = ctx.rng.uniform() +
+                         static_cast<double>(ctx.run_index) +
+                         static_cast<double>(ctx.run_seed % 1000);
+         return s;
+       }},
+  };
+}
+
+/// Full-precision equality of two aggregates, ignoring wall_seconds (the
+/// only metric that measures real time rather than derived state).
+void expect_identical(const scenario::AggregateResult& a,
+                      const scenario::AggregateResult& b) {
+  ASSERT_EQ(a.completed_runs, b.completed_runs);
+  ASSERT_EQ(a.per_algorithm.size(), b.per_algorithm.size());
+  const auto compare_sets = [](const util::MetricSet& x,
+                               const util::MetricSet& y) {
+    ASSERT_EQ(x.names(), y.names());
+    for (const auto& metric : x.names()) {
+      if (metric == "wall_seconds") continue;
+      const auto& sx = x.get(metric);
+      const auto& sy = y.get(metric);
+      EXPECT_EQ(sx.count(), sy.count()) << metric;
+      EXPECT_EQ(sx.mean(), sy.mean()) << metric;
+      EXPECT_EQ(sx.stddev(), sy.stddev()) << metric;
+      EXPECT_EQ(sx.min(), sy.min()) << metric;
+      EXPECT_EQ(sx.max(), sy.max()) << metric;
+      EXPECT_EQ(sx.sum(), sy.sum()) << metric;
+    }
+  };
+  for (const auto& [name, metrics] : a.per_algorithm) {
+    ASSERT_TRUE(b.per_algorithm.count(name)) << name;
+    compare_sets(metrics, b.per_algorithm.at(name));
+  }
+  compare_sets(a.instance, b.instance);
+}
+
+TEST(ScenarioEngine, AggregateIsBitIdenticalAcrossThreadCounts) {
+  scenario::RunnerOptions options;
+  options.runs = 5;
+  options.seed = 1234;
+  options.require_feasible = true;
+  const auto algorithms = test_algorithms();
+
+  options.threads = 1;
+  const auto serial =
+      scenario::run_experiment(bell_factory(3, 10.0), algorithms, options);
+  EXPECT_EQ(serial.completed_runs, 5u);
+  EXPECT_GT(serial.per_algorithm.at("SRT").get("total_repairs").mean(), 0.0);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    const auto parallel =
+        scenario::run_experiment(bell_factory(3, 10.0), algorithms, options);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ScenarioEngine, SharedPoolMatchesOwnedPool) {
+  scenario::RunnerOptions options;
+  options.runs = 3;
+  options.seed = 99;
+  const auto algorithms = test_algorithms();
+  options.threads = 4;
+  const auto owned =
+      scenario::run_experiment(bell_factory(2, 5.0), algorithms, options);
+  util::ThreadPool pool(4);
+  options.pool = &pool;
+  const auto shared =
+      scenario::run_experiment(bell_factory(2, 5.0), algorithms, options);
+  expect_identical(owned, shared);
+}
+
+TEST(ScenarioEngine, DifferentSeedsProduceDifferentRngStreams) {
+  scenario::RunnerOptions options;
+  options.runs = 3;
+  options.threads = 1;
+  const auto algorithms = test_algorithms();
+  options.seed = 1;
+  const auto a =
+      scenario::run_experiment(bell_factory(2, 5.0), algorithms, options);
+  options.seed = 2;
+  const auto b =
+      scenario::run_experiment(bell_factory(2, 5.0), algorithms, options);
+  EXPECT_NE(a.per_algorithm.at("rng-probe").get("repair_cost").mean(),
+            b.per_algorithm.at("rng-probe").get("repair_cost").mean());
+}
+
+TEST(ScenarioEngine, FarApartDemandsAreSeedDeterministic) {
+  const graph::Graph g = topology::bell_canada_like();
+  util::Rng a(2024);
+  util::Rng b(2024);
+  const auto da = scenario::far_apart_demands(g, 4, 10.0, a);
+  const auto db = scenario::far_apart_demands(g, 4, 10.0, b);
+  ASSERT_EQ(da.size(), 4u);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].source, db[i].source);
+    EXPECT_EQ(da[i].target, db[i].target);
+    EXPECT_EQ(da[i].amount, db[i].amount);
+  }
+  // A different seed reshuffles the admissible pairs.
+  util::Rng c(2025);
+  const auto dc = scenario::far_apart_demands(g, 4, 10.0, c);
+  bool any_different = false;
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    any_different |= dc[i].source != da[i].source ||
+                     dc[i].target != da[i].target;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+scenario::SweepResult small_sweep(std::size_t threads) {
+  scenario::RunnerOptions options;
+  options.runs = 2;
+  options.seed = 7;
+  options.threads = threads;
+  scenario::SweepRunner sweep("unit", "pairs", options);
+  sweep.add_algorithm("SRT",
+                      [](const core::RecoveryProblem& p,
+                         scenario::RunContext&) {
+                        return heuristics::solve_srt(p);
+                      });
+  sweep.add_point("2", bell_factory(2, 5.0));
+  sweep.add_point("3", bell_factory(3, 5.0));
+  return sweep.run();
+}
+
+TEST(SweepRunner, CollectsEveryPointInOrder) {
+  const auto result = small_sweep(1);
+  EXPECT_EQ(result.name, "unit");
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.x_values, (std::vector<std::string>{"2", "3"}));
+  EXPECT_EQ(result.algorithm_names, (std::vector<std::string>{"SRT"}));
+  for (const auto& point : result.points) {
+    EXPECT_EQ(point.completed_runs, 2u);
+  }
+  EXPECT_GT(result.mean(0, "SRT", "total_repairs"), 0.0);
+  EXPECT_GT(result.instance_mean(1, "broken_total"), 0.0);
+}
+
+TEST(SweepRunner, ResultsAreThreadCountInvariant) {
+  const auto serial = small_sweep(1);
+  const auto parallel = small_sweep(8);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    expect_identical(serial.points[i], parallel.points[i]);
+  }
+}
+
+TEST(SweepRunner, CsvRoundTripMatchesTableValues) {
+  const auto result = small_sweep(1);
+  const std::string path = ::testing::TempDir() + "netrec_sweep.csv";
+  const scenario::SeriesSpec spec{.metric = "total_repairs", .precision = 3};
+  result.write_csv(path, spec);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    rows.push_back(cells);
+  }
+  std::remove(path.c_str());
+
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 points
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"pairs", "SRT"}));
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    EXPECT_EQ(rows[i + 1][0], result.x_values[i]);
+    EXPECT_DOUBLE_EQ(std::stod(rows[i + 1][1]),
+                     std::stod(util::format_double(
+                         result.mean(i, "SRT", "total_repairs"), 3)));
+  }
+}
+
+TEST(SweepRunner, JsonRoundTripPreservesTheFullResult) {
+  const auto result = small_sweep(1);
+  const std::string path = ::testing::TempDir() + "netrec_sweep.json";
+  result.write_json(path);
+  const util::Json loaded = util::read_json_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(loaded == result.to_json());
+  EXPECT_EQ(loaded.at("sweep").as_string(), "unit");
+  EXPECT_EQ(loaded.at("points").size(), 2u);
+  const auto& point = loaded.at("points").at(0);
+  EXPECT_EQ(point.at("pairs").as_string(), "2");
+  EXPECT_EQ(point.at("completed_runs").as_number(), 2.0);
+  const auto& srt = point.at("metrics").at("SRT");
+  EXPECT_EQ(srt.at("total_repairs").at("mean").as_number(),
+            result.mean(0, "SRT", "total_repairs"));
+  EXPECT_EQ(srt.at("total_repairs").at("count").as_number(), 2.0);
+  EXPECT_TRUE(point.at("instance").contains("broken_total"));
+}
+
+}  // namespace
+}  // namespace netrec

@@ -169,7 +169,7 @@ TEST(Scenario, RunnerAggregatesAcrossRuns) {
         return p;
       },
       {{"noop",
-        [](const core::RecoveryProblem& problem) {
+        [](const core::RecoveryProblem& problem, scenario::RunContext&) {
           core::RecoverySolution s;
           s.algorithm = "noop";
           core::score_solution(problem, s);
