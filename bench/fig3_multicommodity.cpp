@@ -108,8 +108,8 @@ int run(int argc, char** argv) {
                     [pairs, flow](util::Rng& rng) {
                       core::RecoveryProblem p;
                       p.graph = topology::bell_canada_like();
-                      p.demands =
-                          scenario::far_apart_demands(p.graph, pairs, flow, rng);
+                      p.demands = scenario::far_apart_demands(p.graph, pairs,
+                                                              flow, rng);
                       disruption::complete_destruction(p.graph);
                       return p;
                     });

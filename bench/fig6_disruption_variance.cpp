@@ -40,12 +40,13 @@ int run(int argc, char** argv) {
                     [pairs, flow, variance](util::Rng& rng) {
                       core::RecoveryProblem p;
                       p.graph = topology::bell_canada_like();
-                      p.demands =
-                          scenario::far_apart_demands(p.graph, pairs, flow, rng);
+                      p.demands = scenario::far_apart_demands(p.graph, pairs,
+                                                              flow, rng);
                       disruption::GaussianDisasterOptions dopt;
                       dopt.variance = variance;
                       util::Rng disaster_rng = rng.fork();
-                      disruption::gaussian_disaster(p.graph, dopt, disaster_rng);
+                      disruption::gaussian_disaster(p.graph, dopt,
+                                                    disaster_rng);
                       return p;
                     });
   }

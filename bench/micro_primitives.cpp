@@ -121,7 +121,8 @@ void BM_SimplexDense(benchmark::State& state) {
     model.add_constraint(lp::Sense::kLessEqual, rng.uniform(5.0, 20.0));
   }
   for (int c = 0; c < cols; ++c) {
-    const int v = model.add_variable(0.0, lp::kInfinity, -rng.uniform(0.1, 1.0));
+    const int v =
+        model.add_variable(0.0, lp::kInfinity, -rng.uniform(0.1, 1.0));
     for (int r = 0; r < rows; ++r) {
       if (rng.chance(0.15)) model.set_coefficient(r, v, rng.uniform(0.1, 2.0));
     }

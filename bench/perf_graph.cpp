@@ -1,0 +1,297 @@
+// GraphView hot-path microbenchmark: callback algorithms vs CSR snapshots.
+//
+// Times the two traversal workloads the CSR refactor targets, on one seeded
+// Erdős–Rényi instance (default n=400, p=0.02) with a random disruption so
+// the usability filters are non-trivial:
+//
+//   * betweenness — Brandes over the working subgraph (|V| Dijkstra passes,
+//     the paper's eq. 3 ablation baseline and the costliest per-edge-callback
+//     consumer in the tree);
+//   * pricing     — the MCF column-generation inner loop: several rounds of
+//     per-edge reduced-cost weights, each priced with one Dijkstra per
+//     demand (exactly PathLp::solve's pricing shape).
+//
+// Each workload runs twice per instance: through the preserved
+// std::function reference path (graph::legacy::*) and through a GraphView.
+// Both variants fold their outputs into a checksum recorded as the
+// `repair_cost` metric; the driver refuses to report timings whose
+// checksums diverge, so the comparison cannot silently drift.  Results are
+// written to --json (default BENCH_graph.json) with per-kernel mean seconds
+// and speedups — the artifact the CI perf-smoke step archives, so the perf
+// trajectory accrues per PR.
+//
+// Like Fig 7a, wall time is the measured metric, so --threads defaults to 1;
+// raising it keeps checksums identical but biases the timings.
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "graph/betweenness.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/view.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace netrec;
+
+/// Deterministic per-(edge, round) pseudo-dual in [0, 1): stands in for the
+/// simplex duals of a real pricing round without dragging the LP into the
+/// measurement.
+double pseudo_dual(graph::EdgeId e, std::size_t round) {
+  const auto h = static_cast<std::uint64_t>(e) * 2654435761ULL +
+                 static_cast<std::uint64_t>(round) * 40503ULL;
+  return static_cast<double>(h % 1024) / 1024.0;
+}
+
+/// The per-edge work of ISP's dynamic metric (Section IV-D): brokenness
+/// surcharges, a deterministic jitter, normalisation by capacity.  This is
+/// what the callback path re-evaluates on every edge examination and the
+/// view flattens once per round.
+double dynamic_metric(const graph::Graph& g, graph::EdgeId e) {
+  const graph::Edge& edge = g.edge(e);
+  double k = 1.0;
+  if (edge.broken) k += edge.repair_cost;
+  if (g.node(edge.u).broken) k += g.node(edge.u).repair_cost / 2.0;
+  if (g.node(edge.v).broken) k += g.node(edge.v).repair_cost / 2.0;
+  const auto h = static_cast<std::uint64_t>(e) * 2654435761ULL;
+  const double jitter = 1.0 + static_cast<double>(h % 97) / 970.0;
+  return k * jitter / std::max(edge.capacity, 1e-6);
+}
+
+/// Reduced-cost edge length for the pricing kernels (>= 0 by construction).
+double pricing_weight(const graph::Graph& g, graph::EdgeId e,
+                      std::size_t round) {
+  return std::max(0.0,
+                  dynamic_metric(g, e) * (1.0 - 0.9 * pseudo_dual(e, round)));
+}
+
+struct KernelConfig {
+  std::size_t pricing_rounds = 6;
+};
+
+core::RecoverySolution timed(const std::string& name, double checksum,
+                             const util::Timer& timer) {
+  core::RecoverySolution solution;
+  solution.algorithm = name;
+  solution.wall_seconds = timer.elapsed_seconds();
+  // Smuggle the checksum through a recorded metric so the sweep JSON keeps
+  // it and the driver can compare variants.
+  solution.repair_cost = checksum;
+  return solution;
+}
+
+core::RecoverySolution betweenness_callback(const core::RecoveryProblem& p) {
+  util::Timer timer;
+  const graph::Graph& g = p.graph;
+  const auto scores = graph::legacy::betweenness_centrality(
+      g, [&g](graph::EdgeId e) { return dynamic_metric(g, e); },
+      graph::working_edge_filter(g));
+  double checksum = 0.0;
+  for (double s : scores) checksum += s;
+  return timed("betweenness/callback", checksum, timer);
+}
+
+core::RecoverySolution betweenness_view(const core::RecoveryProblem& p) {
+  util::Timer timer;
+  const graph::Graph& g = p.graph;
+  graph::ViewConfig config;
+  config.edge_ok = graph::working_edge_filter(g);
+  config.length = [&g](graph::EdgeId e) { return dynamic_metric(g, e); };
+  const auto scores =
+      graph::betweenness_centrality(graph::GraphView::build(g, config));
+  double checksum = 0.0;
+  for (double s : scores) checksum += s;
+  return timed("betweenness/view", checksum, timer);
+}
+
+core::RecoverySolution pricing_callback(const core::RecoveryProblem& p,
+                                        const KernelConfig& config) {
+  util::Timer timer;
+  const graph::Graph& g = p.graph;
+  const auto edge_ok = graph::working_edge_filter(g);
+  double checksum = 0.0;
+  for (std::size_t round = 0; round < config.pricing_rounds; ++round) {
+    const auto weight = [&g, round](graph::EdgeId e) {
+      return pricing_weight(g, e, round);
+    };
+    for (const mcf::Demand& d : p.demands) {
+      const auto tree = graph::legacy::dijkstra(g, d.source, weight, edge_ok);
+      if (tree.reached(d.target)) {
+        checksum += tree.distance[static_cast<std::size_t>(d.target)];
+      }
+    }
+  }
+  return timed("pricing/callback", checksum, timer);
+}
+
+core::RecoverySolution pricing_view(const core::RecoveryProblem& p,
+                                    const KernelConfig& config) {
+  util::Timer timer;
+  // One snapshot per solve, one flat weight refresh per round — the shape
+  // PathLp::solve now uses.
+  const graph::Graph& g = p.graph;
+  const auto view = graph::GraphView::working(g);
+  std::vector<double> weights(g.num_edges(), 0.0);
+  double checksum = 0.0;
+  for (std::size_t round = 0; round < config.pricing_rounds; ++round) {
+    for (std::size_t e = 0; e < weights.size(); ++e) {
+      weights[e] = pricing_weight(g, static_cast<graph::EdgeId>(e), round);
+    }
+    for (const mcf::Demand& d : p.demands) {
+      const auto tree = graph::dijkstra(view, d.source, weights);
+      if (tree.reached(d.target)) {
+        checksum += tree.distance[static_cast<std::size_t>(d.target)];
+      }
+    }
+  }
+  return timed("pricing/view", checksum, timer);
+}
+
+int run(int argc, char** argv) {
+  util::Flags flags;
+  bench::declare_common_flags(flags, /*default_runs=*/3);
+  flags.define("threads", "1",
+               "worker threads (default 1: concurrent kernels would inflate "
+               "the wall-clock comparison)");
+  flags.define("json", "BENCH_graph.json",
+               "write per-kernel timings and speedups to this path");
+  flags.define("nodes", "400", "Erdos-Renyi node count");
+  flags.define("edge-prob", "0.02", "Erdos-Renyi edge probability");
+  flags.define("pairs", "24", "demand pairs priced per round");
+  flags.define("rounds", "6", "pricing rounds per instance");
+  flags.define("break-frac", "0.15", "fraction of elements broken");
+  if (!bench::parse_or_usage(flags, argc, argv)) return 0;
+
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes"));
+  const double edge_prob = flags.get_double("edge-prob");
+  const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
+  const double break_frac = flags.get_double("break-frac");
+  KernelConfig config;
+  config.pricing_rounds = static_cast<std::size_t>(flags.get_int("rounds"));
+
+  scenario::RunnerOptions options = bench::runner_options(flags);
+  // The kernels never repair anything, so the feasibility redraw loop of the
+  // engine must not reject the instances.
+  options.require_feasible = false;
+
+  scenario::SweepRunner sweep("perf_graph", "instance", options);
+  sweep.add_algorithm("betweenness/callback",
+                      [](const core::RecoveryProblem& p,
+                         scenario::RunContext&) {
+                        return betweenness_callback(p);
+                      });
+  sweep.add_algorithm("betweenness/view",
+                      [](const core::RecoveryProblem& p,
+                         scenario::RunContext&) {
+                        return betweenness_view(p);
+                      });
+  sweep.add_algorithm("pricing/callback",
+                      [config](const core::RecoveryProblem& p,
+                               scenario::RunContext&) {
+                        return pricing_callback(p, config);
+                      });
+  sweep.add_algorithm("pricing/view",
+                      [config](const core::RecoveryProblem& p,
+                               scenario::RunContext&) {
+                        return pricing_view(p, config);
+                      });
+
+  char label[64];
+  std::snprintf(label, sizeof(label), "er_n%zu_p%.3f", nodes, edge_prob);
+  sweep.add_point(label, [nodes, edge_prob, pairs,
+                          break_frac](util::Rng& rng) {
+    core::RecoveryProblem problem;
+    topology::ErdosRenyiOptions eopt;
+    eopt.nodes = nodes;
+    eopt.edge_probability = edge_prob;
+    problem.graph = topology::erdos_renyi(eopt, rng);
+    // Random disruption so the working filters actually filter.
+    for (std::size_t n = 0; n < problem.graph.num_nodes(); ++n) {
+      if (rng.chance(break_frac / 3.0)) {
+        problem.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+      }
+    }
+    for (std::size_t e = 0; e < problem.graph.num_edges(); ++e) {
+      if (rng.chance(break_frac)) {
+        problem.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+      }
+    }
+    const auto n = static_cast<std::int64_t>(problem.graph.num_nodes());
+    for (std::size_t h = 0; h < pairs; ++h) {
+      const auto s = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+      auto t = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+      if (t == s) t = static_cast<graph::NodeId>((t + 1) % n);
+      problem.demands.push_back(mcf::Demand{s, t, 1.0});
+    }
+    return problem;
+  });
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"perf_graph: wall seconds per kernel",
+       {.metric = "wall_seconds", .precision = 6},
+       ".time.csv"},
+      {"perf_graph: result checksums (callback == view required)",
+       {.metric = "repair_cost", .precision = 3},
+       ".checksum.csv"}};
+  bench::preflight(flags, series);
+
+  scenario::SweepResult result = sweep.run();
+  bench::emit(result, series, flags);
+
+  util::Json kernels = util::Json::object();
+  for (const char* kernel : {"betweenness", "pricing"}) {
+    const std::string callback_name = std::string(kernel) + "/callback";
+    const std::string view_name = std::string(kernel) + "/view";
+    const double cb_sum = result.mean(0, callback_name, "repair_cost");
+    const double view_sum = result.mean(0, view_name, "repair_cost");
+    if (cb_sum != view_sum) {
+      throw std::runtime_error(std::string("perf_graph: ") + kernel +
+                               " checksums diverge between callback and "
+                               "view variants");
+    }
+    const double cb_seconds = result.mean(0, callback_name, "wall_seconds");
+    const double view_seconds = result.mean(0, view_name, "wall_seconds");
+    const double speedup =
+        view_seconds > 0.0 ? cb_seconds / view_seconds : 0.0;
+    std::printf("%s: callback %.6fs  view %.6fs  speedup %.2fx\n", kernel,
+                cb_seconds, view_seconds, speedup);
+    util::Json entry = util::Json::object();
+    entry.set("callback_seconds", cb_seconds);
+    entry.set("view_seconds", view_seconds);
+    entry.set("speedup", speedup);
+    entry.set("checksum", cb_sum);
+    kernels.set(kernel, std::move(entry));
+  }
+
+  // bench::emit wrote the raw sweep to --json; replace it with the richer
+  // document that embeds the sweep next to the per-kernel speedups.
+  const std::string json_path = flags.get("json");
+  if (!json_path.empty()) {
+    util::Json out = util::Json::object();
+    out.set("bench", "perf_graph");
+    out.set("seed", static_cast<double>(options.seed));
+    out.set("runs", options.runs);
+    util::Json topo = util::Json::object();
+    topo.set("nodes", nodes);
+    topo.set("edge_probability", edge_prob);
+    topo.set("pairs", pairs);
+    topo.set("pricing_rounds", config.pricing_rounds);
+    topo.set("break_fraction", break_frac);
+    out.set("topology", std::move(topo));
+    out.set("kernels", std::move(kernels));
+    out.set("sweep", result.to_json());
+    util::write_json_file(json_path, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/simple_paths.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::core {
 
@@ -45,12 +46,19 @@ CentralityResult demand_based_centrality(
     const CentralityOptions& options) {
   CentralityResult result(g.num_nodes(), demands.size());
 
+  // The dynamic metric and residual capacities are constant for the duration
+  // of one centrality evaluation (one ISP iteration), so flatten them into a
+  // CSR snapshot once and collect every demand's P̂* on flat arrays.
+  graph::ViewConfig config;
+  config.length = length;
+  config.capacity = residual;
+  const graph::GraphView view = graph::GraphView::build(g, config);
+
   for (std::size_t h = 0; h < demands.size(); ++h) {
     const mcf::Demand& d = demands[h];
     if (d.amount <= 1e-9 || d.source == d.target) continue;
     auto sp = graph::successive_shortest_paths(
-        g, d.source, d.target, d.amount, length, residual,
-        /*edge_ok=*/{}, /*node_ok=*/{}, options.max_paths_per_demand);
+        view, d.source, d.target, d.amount, options.max_paths_per_demand);
     if (sp.paths.empty() || sp.total_capacity <= 1e-12) continue;
 
     DemandPathSet& set =

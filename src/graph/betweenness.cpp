@@ -5,7 +5,106 @@
 #include <queue>
 #include <stack>
 
+#include "graph/heap.hpp"
+
 namespace netrec::graph {
+
+std::vector<double> betweenness_centrality(const GraphView& view) {
+  const std::size_t n = view.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Brandes: one shortest-path DAG per source, accumulate dependencies.
+  // All per-source workspaces (heap included: a vector drained with
+  // std::push_heap/std::pop_heap pops in the same order as
+  // std::priority_queue) are hoisted out of the source loop so the |V|
+  // passes share their allocations.  Predecessor lists live in one flat
+  // array aligned with the CSR arcs: node v's slots start at arcs_begin(v)
+  // (a node gains at most one live predecessor per incident in-view arc),
+  // so no per-relaxation vector bookkeeping is needed.
+  std::vector<double> dist(n);
+  std::vector<double> sigma(n);  // number of shortest paths
+  std::vector<double> delta(n);  // dependency accumulator
+  std::vector<NodeId> pred_flat(view.num_arcs());
+  std::vector<ArcId> pred_count(n);
+  QuadHeap<std::pair<double, NodeId>> heap;
+  std::vector<NodeId> order;  // nodes in non-decreasing distance
+  std::vector<char> settled(n);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto source = static_cast<NodeId>(s);
+    if (!view.node_in_view(source)) continue;
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    std::fill(settled.begin(), settled.end(), 0);
+    std::fill(pred_count.begin(), pred_count.end(), 0);
+    heap.clear();
+    order.clear();
+
+    dist[s] = 0.0;
+    sigma[s] = 1.0;
+    heap.push({0.0, source});
+
+    while (!heap.empty()) {
+      const auto [d, at] = heap.pop();
+      if (settled[static_cast<std::size_t>(at)]) continue;
+      settled[static_cast<std::size_t>(at)] = 1;
+      order.push_back(at);
+      // sigma[at] is final once `at` settles (no self-loops), so hoist the
+      // load the optimiser cannot prove invariant across the sigma[ti]
+      // stores.
+      const double sigma_at = sigma[static_cast<std::size_t>(at)];
+      const ArcId arc_end = view.arcs_end(at);
+      for (ArcId a = view.arcs_begin(at); a < arc_end; ++a) {
+        const NodeId to = view.arc_target(a);
+        const double candidate = d + view.arc_length(a);
+        const auto ti = static_cast<std::size_t>(to);
+        if (candidate < dist[ti] - 1e-12) {
+          dist[ti] = candidate;
+          sigma[ti] = sigma_at;
+          pred_flat[view.arcs_begin(to)] = at;
+          pred_count[ti] = 1;
+          heap.push({candidate, to});
+        } else if (std::abs(candidate - dist[ti]) <= 1e-12) {
+          sigma[ti] += sigma_at;
+          pred_flat[view.arcs_begin(to) + pred_count[ti]++] = at;
+        }
+      }
+    }
+
+    // Dependency accumulation in reverse settle order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      const auto wi = static_cast<std::size_t>(w);
+      const double sigma_w = sigma[wi];
+      const double coefficient = 1.0 + delta[wi];
+      const ArcId begin = view.arcs_begin(w);
+      const ArcId end = begin + pred_count[wi];
+      for (ArcId p = begin; p < end; ++p) {
+        const auto vi = static_cast<std::size_t>(pred_flat[p]);
+        delta[vi] += sigma[vi] / sigma_w * coefficient;
+      }
+      if (w != source) centrality[wi] += delta[wi];
+    }
+  }
+  // Undirected graph: each pair counted from both endpoints.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+std::vector<double> betweenness_centrality(const Graph& g,
+                                           const EdgeWeight& length,
+                                           const EdgeFilter& edge_ok,
+                                           const NodeFilter& node_ok) {
+  ViewConfig config;
+  config.edge_ok = edge_ok;
+  config.node_ok = node_ok;
+  config.length = length;
+  return betweenness_centrality(GraphView::build(g, config));
+}
+
+namespace legacy {
 
 std::vector<double> betweenness_centrality(const Graph& g,
                                            const EdgeWeight& length,
@@ -15,7 +114,6 @@ std::vector<double> betweenness_centrality(const Graph& g,
   std::vector<double> centrality(n, 0.0);
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // Brandes: one shortest-path DAG per source, accumulate dependencies.
   std::vector<double> dist(n);
   std::vector<double> sigma(n);  // number of shortest paths
   std::vector<double> delta(n);  // dependency accumulator
@@ -61,7 +159,6 @@ std::vector<double> betweenness_centrality(const Graph& g,
       }
     }
 
-    // Dependency accumulation in reverse settle order.
     while (!order.empty()) {
       const NodeId w = order.top();
       order.pop();
@@ -77,5 +174,7 @@ std::vector<double> betweenness_centrality(const Graph& g,
   for (double& c : centrality) c /= 2.0;
   return centrality;
 }
+
+}  // namespace legacy
 
 }  // namespace netrec::graph

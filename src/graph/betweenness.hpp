@@ -6,21 +6,42 @@
 // bench can quantify what the demand-aware variant actually buys: Brandes
 // scores nodes by shortest-path participation over *all* vertex pairs,
 // ignoring both demand endpoints and capacities.
+//
+// Brandes runs |V| Dijkstra passes, so it is the workload that gains most
+// from the CSR GraphView: the view overload touches flat arrays only.  The
+// callback signature wraps it; the reference callback implementation lives
+// in namespace `legacy` for the equivalence tests and bench/perf_graph.
 #pragma once
 
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::graph {
+
+/// Brandes betweenness over the view, under the view's edge lengths (>= 0).
+/// Nodes outside the view score 0 and contribute no source pass.
+std::vector<double> betweenness_centrality(const GraphView& view);
 
 /// Brandes betweenness for all nodes under the given edge lengths (>= 0).
 /// Runs |V| Dijkstra passes: O(V * (E log V)).  Filtered elements are
 /// treated as absent.  Endpoint pairs contribute to intermediate nodes only
-/// (standard definition).
+/// (standard definition).  Materialises a GraphView.
 std::vector<double> betweenness_centrality(const Graph& g,
                                            const EdgeWeight& length,
                                            const EdgeFilter& edge_ok = {},
                                            const NodeFilter& node_ok = {});
+
+namespace legacy {
+
+/// Reference std::function-based implementation (bit-identical scores),
+/// preserved for the view-equivalence tests and the perf comparison.
+std::vector<double> betweenness_centrality(const Graph& g,
+                                           const EdgeWeight& length,
+                                           const EdgeFilter& edge_ok = {},
+                                           const NodeFilter& node_ok = {});
+
+}  // namespace legacy
 
 }  // namespace netrec::graph

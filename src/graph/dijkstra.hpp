@@ -4,6 +4,13 @@
 // elements become "short", pruned capacity raises lengths — so lengths are a
 // callback rather than stored weights.  The same routine also serves column-
 // generation pricing in the MCF solver (lengths = simplex duals).
+//
+// Two call families exist.  The GraphView overloads are the hot path: they
+// traverse a flat CSR snapshot with no per-edge indirection and are what the
+// algorithm consumers use.  The callback overloads keep the historical
+// signatures as thin wrappers that materialise a view; the verbatim callback
+// implementations survive in namespace `legacy` as the reference the
+// equivalence tests and bench/perf_graph compare against.
 #pragma once
 
 #include <optional>
@@ -11,6 +18,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::graph {
 
@@ -25,8 +33,39 @@ struct ShortestPathTree {
   std::optional<Path> path_to(const Graph& g, NodeId target) const;
 };
 
+// --- view-based (hot path) -------------------------------------------------
+
+/// Dijkstra from `source` over the view, using the view's edge lengths.
+/// Lengths must be >= 0 and not NaN for every traversed edge
+/// (std::invalid_argument at first encounter).
+ShortestPathTree dijkstra(const GraphView& view, NodeId source);
+
+/// Same traversal with caller-supplied per-edge-id lengths (indexed by
+/// original edge id) — the MCF pricing loop refreshes these from the master
+/// duals every round without rebuilding the view.
+ShortestPathTree dijkstra(const GraphView& view, NodeId source,
+                          const std::vector<double>& edge_length);
+
+/// Dijkstra under the view's lengths, skipping edges whose entry in
+/// `edge_residual` is <= 1e-9 — the residual-capacity loops of greedy
+/// routing and successive shortest paths.
+ShortestPathTree dijkstra_residual(const GraphView& view, NodeId source,
+                                   const std::vector<double>& edge_residual);
+
+/// Shortest path source -> target over the view, or nullopt.
+std::optional<Path> shortest_path(const GraphView& view, NodeId source,
+                                  NodeId target);
+
+/// Widest (maximum-bottleneck) path under the view's capacities.
+/// Capacities must be >= 0 and not NaN (std::invalid_argument otherwise).
+std::optional<Path> widest_path(const GraphView& view, NodeId source,
+                                NodeId target);
+
+// --- callback wrappers (historical signatures) -----------------------------
+
 /// Runs Dijkstra from `source`.  `length` must be >= 0 for every usable edge
-/// (negative lengths throw std::invalid_argument at first encounter).
+/// (negative or NaN lengths throw std::invalid_argument at first encounter).
+/// Materialises a GraphView; prefer the view overloads in loops.
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
                           const EdgeWeight& length,
                           const EdgeFilter& edge_ok = {},
@@ -39,10 +78,28 @@ std::optional<Path> shortest_path(const Graph& g, NodeId source,
                                   const NodeFilter& node_ok = {});
 
 /// Widest (maximum-bottleneck-capacity) path source -> target under the
-/// capacity view; used by greedy routing pre-passes.
+/// capacity view; used by greedy routing pre-passes.  Negative or NaN
+/// capacities throw std::invalid_argument at first encounter.
 std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
                                 const EdgeWeight& capacity,
                                 const EdgeFilter& edge_ok = {},
                                 const NodeFilter& node_ok = {});
+
+namespace legacy {
+
+/// Reference std::function-based implementations, preserved for the
+/// view-equivalence property tests and the bench/perf_graph comparison.
+/// Semantically identical to the view path (bit-identical outputs).
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const EdgeWeight& length,
+                          const EdgeFilter& edge_ok = {},
+                          const NodeFilter& node_ok = {});
+
+std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
+                                const EdgeWeight& capacity,
+                                const EdgeFilter& edge_ok = {},
+                                const NodeFilter& node_ok = {});
+
+}  // namespace legacy
 
 }  // namespace netrec::graph

@@ -224,7 +224,8 @@ Graph parse_gml(const std::string& text, const GmlOptions& options) {
       throw std::runtime_error("GML: edge references unknown node");
     }
     if (su->second == sv->second) continue;               // drop self-loops
-    if (g.find_edge(su->second, sv->second) != kInvalidEdge) continue;  // dedupe
+    // Dedupe parallel edges.
+    if (g.find_edge(su->second, sv->second) != kInvalidEdge) continue;
     const double capacity =
         get_number(record, "capacity")
             .value_or(get_number(record, "LinkSpeed")

@@ -1,12 +1,16 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace netrec::graph {
 
 NodeId Graph::add_node(std::string name, double x, double y,
                        double repair_cost) {
+  if (!(repair_cost >= 0.0)) {  // rejects NaN and negatives alike
+    throw std::invalid_argument("Graph: node repair cost must be >= 0");
+  }
   Node n;
   n.name = std::move(name);
   n.x = x;
@@ -27,7 +31,12 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, double capacity,
                                 std::to_string(u) + " and " +
                                 std::to_string(v));
   }
-  if (capacity < 0.0) throw std::invalid_argument("Graph: negative capacity");
+  if (!(capacity >= 0.0)) {  // rejects NaN and negatives alike
+    throw std::invalid_argument("Graph: capacity must be >= 0 and not NaN");
+  }
+  if (!(repair_cost >= 0.0)) {
+    throw std::invalid_argument("Graph: edge repair cost must be >= 0");
+  }
   Edge e;
   e.u = u;
   e.v = v;

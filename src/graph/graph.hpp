@@ -56,9 +56,13 @@ class Graph {
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_edges() const { return edges_.size(); }
 
-  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
   Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
-  const Edge& edge(EdgeId id) const { return edges_[static_cast<std::size_t>(id)]; }
+  const Edge& edge(EdgeId id) const {
+    return edges_[static_cast<std::size_t>(id)];
+  }
   Edge& edge(EdgeId id) { return edges_[static_cast<std::size_t>(id)]; }
 
   const std::vector<Node>& nodes() const { return nodes_; }

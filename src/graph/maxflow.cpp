@@ -17,8 +17,8 @@ struct Dinic {
   struct Arc {
     int to;
     double cap;
-    EdgeId origin;    ///< original edge id (kInvalidEdge for reverse bookkeeping)
-    bool forward;     ///< true if oriented u->v of the original edge
+    EdgeId origin;  ///< original edge id (kInvalidEdge for reverse arcs)
+    bool forward;   ///< true if oriented u->v of the original edge
   };
 
   explicit Dinic(int n) : head(static_cast<std::size_t>(n)) {}
@@ -93,31 +93,22 @@ struct Dinic {
   std::vector<std::size_t> iter;
 };
 
-}  // namespace
-
-MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
-                       const EdgeWeight& capacity, const EdgeFilter& edge_ok,
-                       const NodeFilter& node_ok) {
+/// Runs Dinic over the network assembled by `add_edges(net, arc_of_edge)`
+/// and extracts the net per-edge flow.
+template <class AddEdges>
+MaxflowResult run_max_flow(const Graph& g, NodeId source, NodeId sink,
+                           bool endpoints_ok, const AddEdges& add_edges) {
   g.check_node(source);
   g.check_node(sink);
   MaxflowResult result;
   result.edge_flow.assign(g.num_edges(), 0.0);
   if (source == sink) return result;
-  if (node_ok && (!node_ok(source) || !node_ok(sink))) return result;
+  if (!endpoints_ok) return result;
 
   Dinic net(static_cast<int>(g.num_nodes()));
   std::vector<std::pair<int, double>> arc_of_edge(
       g.num_edges(), {-1, 0.0});  // (first arc index, initial cap)
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const auto id = static_cast<EdgeId>(e);
-    if (edge_ok && !edge_ok(id)) continue;
-    const Edge& edge = g.edge(id);
-    if (node_ok && (!node_ok(edge.u) || !node_ok(edge.v))) continue;
-    const double cap = capacity(id);
-    if (cap <= kFlowEps) continue;
-    arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
-    net.add_undirected(edge.u, edge.v, cap, id);
-  }
+  add_edges(net, arc_of_edge);
 
   result.value = net.run(source, sink);
 
@@ -136,6 +127,50 @@ MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
     }
   }
   return result;
+}
+
+}  // namespace
+
+// --- view-based ------------------------------------------------------------
+
+MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink) {
+  return max_flow(view, source, sink, view.edge_capacities());
+}
+
+MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
+                       const std::vector<double>& edge_capacity) {
+  const Graph& g = view.graph();
+  // Validate before the bitset lookups: an out-of-range id must throw (as
+  // the callback path always did), not index node_in_view_ out of bounds.
+  g.check_node(source);
+  g.check_node(sink);
+  const bool endpoints_ok =
+      view.node_in_view(source) && view.node_in_view(sink);
+  return run_max_flow(
+      g, source, sink, endpoints_ok,
+      [&](Dinic& net, std::vector<std::pair<int, double>>& arc_of_edge) {
+        for (std::size_t e = 0; e < g.num_edges(); ++e) {
+          const auto id = static_cast<EdgeId>(e);
+          if (!view.edge_in_view(id)) continue;
+          const double cap = edge_capacity[e];
+          if (cap <= kFlowEps) continue;
+          const Edge& edge = g.edge(id);
+          arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
+          net.add_undirected(edge.u, edge.v, cap, id);
+        }
+      });
+}
+
+// --- callback wrapper ------------------------------------------------------
+
+MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
+                       const EdgeWeight& capacity, const EdgeFilter& edge_ok,
+                       const NodeFilter& node_ok) {
+  ViewConfig config;
+  config.edge_ok = edge_ok;
+  config.node_ok = node_ok;
+  config.capacity = capacity;
+  return max_flow(GraphView::build(g, config), source, sink);
 }
 
 std::vector<std::pair<Path, double>> decompose_flow(
@@ -220,5 +255,32 @@ std::vector<std::pair<Path, double>> decompose_flow(
   }
   return out;
 }
+
+// --- legacy reference ------------------------------------------------------
+
+namespace legacy {
+
+MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
+                       const EdgeWeight& capacity, const EdgeFilter& edge_ok,
+                       const NodeFilter& node_ok) {
+  const bool endpoints_ok =
+      !node_ok || (node_ok(source) && node_ok(sink));
+  return run_max_flow(
+      g, source, sink, endpoints_ok,
+      [&](Dinic& net, std::vector<std::pair<int, double>>& arc_of_edge) {
+        for (std::size_t e = 0; e < g.num_edges(); ++e) {
+          const auto id = static_cast<EdgeId>(e);
+          if (edge_ok && !edge_ok(id)) continue;
+          const Edge& edge = g.edge(id);
+          if (node_ok && (!node_ok(edge.u) || !node_ok(edge.v))) continue;
+          const double cap = capacity(id);
+          if (cap <= kFlowEps) continue;
+          arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
+          net.add_undirected(edge.u, edge.v, cap, id);
+        }
+      });
+}
+
+}  // namespace legacy
 
 }  // namespace netrec::graph

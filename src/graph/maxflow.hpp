@@ -6,6 +6,13 @@
 // opposite arc pairs each carrying the full edge capacity; the reported
 // per-edge flow is net (opposite directions cancelled), so a flow
 // decomposition into simple paths always exists.
+//
+// The GraphView overloads assemble the Dinic network from the view's flat
+// usability bitset and capacity array (no per-edge callbacks); the
+// residual-capacity overload lets greedy routing re-run flows against a
+// mutating residual array without rebuilding the view.  The callback
+// signature wraps the view path; the reference implementation survives in
+// namespace `legacy` for the equivalence tests.
 #pragma once
 
 #include <utility>
@@ -13,6 +20,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::graph {
 
@@ -23,9 +31,23 @@ struct MaxflowResult {
   std::vector<double> edge_flow;
 };
 
+// --- view-based (hot path) -------------------------------------------------
+
+/// Max flow source -> sink over the view's edges and capacities.
+MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink);
+
+/// Same network restricted to the view's edges, but with capacities read
+/// from `edge_capacity` (indexed by original edge id) — the residual arrays
+/// the greedy heuristics maintain between flow calls.
+MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
+                       const std::vector<double>& edge_capacity);
+
+// --- callback wrapper (historical signature) -------------------------------
+
 /// Max flow from `source` to `sink`.  `capacity` supplies per-edge capacity
 /// (residual capacities during ISP differ from static ones); filters restrict
 /// the network (e.g. to working elements, or to a bubble's node set).
+/// Materialises a GraphView.
 MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
                        const EdgeWeight& capacity,
                        const EdgeFilter& edge_ok = {},
@@ -37,5 +59,16 @@ MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
 std::vector<std::pair<Path, double>> decompose_flow(
     const Graph& g, NodeId source, NodeId sink,
     const std::vector<double>& edge_flow);
+
+namespace legacy {
+
+/// Reference std::function-based implementation (bit-identical flows),
+/// preserved for the view-equivalence tests.
+MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
+                       const EdgeWeight& capacity,
+                       const EdgeFilter& edge_ok = {},
+                       const NodeFilter& node_ok = {});
+
+}  // namespace legacy
 
 }  // namespace netrec::graph

@@ -1,6 +1,7 @@
 #include "graph/simple_paths.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "graph/dijkstra.hpp"
 
@@ -8,9 +9,10 @@ namespace netrec::graph {
 
 namespace {
 
-void dfs_paths(const Graph& g, NodeId at, NodeId t,
-               const SimplePathLimits& limits, const EdgeFilter& edge_ok,
-               const NodeFilter& node_ok, std::vector<char>& on_path,
+constexpr double kEps = 1e-9;
+
+void dfs_paths(const GraphView& view, NodeId at, NodeId t,
+               const SimplePathLimits& limits, std::vector<char>& on_path,
                Path& current, std::vector<Path>& out) {
   if (out.size() >= limits.max_paths) return;
   if (at == t) {
@@ -18,14 +20,13 @@ void dfs_paths(const Graph& g, NodeId at, NodeId t,
     return;
   }
   if (current.edges.size() >= limits.max_hops) return;
-  for (EdgeId e : g.incident_edges(at)) {
-    if (edge_ok && !edge_ok(e)) continue;
-    const NodeId next = g.other_endpoint(e, at);
+  const ArcId end = view.arcs_end(at);
+  for (ArcId a = view.arcs_begin(at); a < end; ++a) {
+    const NodeId next = view.arc_target(a);
     if (on_path[static_cast<std::size_t>(next)]) continue;
-    if (node_ok && !node_ok(next) && next != t) continue;
     on_path[static_cast<std::size_t>(next)] = 1;
-    current.edges.push_back(e);
-    dfs_paths(g, next, t, limits, edge_ok, node_ok, on_path, current, out);
+    current.edges.push_back(view.arc_edge(a));
+    dfs_paths(view, next, t, limits, on_path, current, out);
     current.edges.pop_back();
     on_path[static_cast<std::size_t>(next)] = 0;
     if (out.size() >= limits.max_paths) return;
@@ -34,43 +35,37 @@ void dfs_paths(const Graph& g, NodeId at, NodeId t,
 
 }  // namespace
 
-std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
-                                   const SimplePathLimits& limits,
-                                   const EdgeFilter& edge_ok,
-                                   const NodeFilter& node_ok) {
+// --- view-based ------------------------------------------------------------
+
+std::vector<Path> all_simple_paths(const GraphView& view, NodeId s, NodeId t,
+                                   const SimplePathLimits& limits) {
+  const Graph& g = view.graph();
   g.check_node(s);
   g.check_node(t);
   std::vector<Path> out;
   if (s == t) return out;
-  std::vector<char> on_path(g.num_nodes(), 0);
+  std::vector<char> on_path(view.num_nodes(), 0);
   on_path[static_cast<std::size_t>(s)] = 1;
   Path current;
   current.start = s;
-  dfs_paths(g, s, t, limits, edge_ok, node_ok, on_path, current, out);
+  dfs_paths(view, s, t, limits, on_path, current, out);
   return out;
 }
 
-SuccessivePathsResult successive_shortest_paths(
-    const Graph& g, NodeId s, NodeId t, double demand,
-    const EdgeWeight& length, const EdgeWeight& capacity,
-    const EdgeFilter& edge_ok, const NodeFilter& node_ok,
-    std::size_t max_paths) {
+SuccessivePathsResult successive_shortest_paths(const GraphView& view,
+                                                NodeId s, NodeId t,
+                                                double demand,
+                                                std::size_t max_paths) {
   SuccessivePathsResult result;
-  std::vector<double> residual(g.num_edges());
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    residual[e] = capacity(static_cast<EdgeId>(e));
-  }
-  constexpr double kEps = 1e-9;
-  auto usable = [&](EdgeId e) {
-    if (residual[static_cast<std::size_t>(e)] <= kEps) return false;
-    return !edge_ok || edge_ok(e);
-  };
+  std::vector<double> residual = view.edge_capacities();
   while (result.total_capacity < demand - kEps &&
          result.paths.size() < max_paths) {
-    auto path = shortest_path(g, s, t, length, usable, node_ok);
+    auto path = dijkstra_residual(view, s, residual).path_to(view.graph(), t);
     if (!path) break;
-    const double cap = path->capacity(
-        [&](EdgeId e) { return residual[static_cast<std::size_t>(e)]; });
+    double cap = std::numeric_limits<double>::infinity();
+    for (EdgeId e : path->edges) {
+      cap = std::min(cap, residual[static_cast<std::size_t>(e)]);
+    }
     if (cap <= kEps) break;
     // Remove the chosen path's bottleneck from every edge on it (Section
     // IV-B: "reduce the capacity of p by c(p)").
@@ -80,6 +75,36 @@ SuccessivePathsResult successive_shortest_paths(
     result.paths.push_back(std::move(*path));
   }
   return result;
+}
+
+// --- callback wrappers -----------------------------------------------------
+
+std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                   const SimplePathLimits& limits,
+                                   const EdgeFilter& edge_ok,
+                                   const NodeFilter& node_ok) {
+  ViewConfig config;
+  config.edge_ok = edge_ok;
+  if (node_ok) {
+    // Historical semantics: the node filter never blocks entering the
+    // target itself, only intermediate nodes.
+    config.node_ok = [&node_ok, t](NodeId n) { return n == t || node_ok(n); };
+  }
+  return all_simple_paths(GraphView::build(g, config), s, t, limits);
+}
+
+SuccessivePathsResult successive_shortest_paths(
+    const Graph& g, NodeId s, NodeId t, double demand,
+    const EdgeWeight& length, const EdgeWeight& capacity,
+    const EdgeFilter& edge_ok, const NodeFilter& node_ok,
+    std::size_t max_paths) {
+  ViewConfig config;
+  config.edge_ok = edge_ok;
+  config.node_ok = node_ok;
+  config.length = length;
+  config.capacity = capacity;
+  return successive_shortest_paths(GraphView::build(g, config), s, t, demand,
+                                   max_paths);
 }
 
 }  // namespace netrec::graph

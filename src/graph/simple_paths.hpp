@@ -10,6 +10,10 @@
 // (Section IV-B): repeatedly take the shortest path, then remove its
 // bottleneck capacity from the residual view, until accumulated path
 // capacity covers the demand.
+//
+// The GraphView overloads are the hot path (ISP recomputes P̂* for every
+// demand every iteration); build the view once per round and enumerate per
+// demand pair.  The callback signatures wrap them.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +21,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::graph {
 
@@ -24,13 +29,6 @@ struct SimplePathLimits {
   std::size_t max_paths = 10'000;  ///< stop after this many paths
   std::size_t max_hops = 32;       ///< skip longer paths
 };
-
-/// All simple paths between s and t (DFS), subject to limits.  Paths are
-/// emitted in DFS order; callers typically re-sort by their own weight.
-std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
-                                   const SimplePathLimits& limits = {},
-                                   const EdgeFilter& edge_ok = {},
-                                   const NodeFilter& node_ok = {});
 
 struct SuccessivePathsResult {
   std::vector<Path> paths;
@@ -40,6 +38,33 @@ struct SuccessivePathsResult {
   /// Sum of `capacities`; >= demand iff the demand is coverable.
   double total_capacity = 0.0;
 };
+
+// --- view-based (hot path) -------------------------------------------------
+
+/// All simple paths s -> t in the view (DFS over the CSR arcs), subject to
+/// limits.  Emitted in DFS (adjacency) order.
+std::vector<Path> all_simple_paths(const GraphView& view, NodeId s, NodeId t,
+                                   const SimplePathLimits& limits = {});
+
+/// P̂*(s,t) over the view: shortest paths under the view's lengths collected
+/// until their combined capacity (from the view's capacities) reaches
+/// `demand`, reducing each chosen path's bottleneck from an internal
+/// residual copy between iterations.
+SuccessivePathsResult successive_shortest_paths(const GraphView& view,
+                                                NodeId s, NodeId t,
+                                                double demand,
+                                                std::size_t max_paths = 64);
+
+// --- callback wrappers (historical signatures) -----------------------------
+
+/// All simple paths between s and t (DFS), subject to limits.  Paths are
+/// emitted in DFS order; callers typically re-sort by their own weight.
+/// Materialises a GraphView (the target is admitted even when `node_ok`
+/// rejects it, matching the historical semantics).
+std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                   const SimplePathLimits& limits = {},
+                                   const EdgeFilter& edge_ok = {},
+                                   const NodeFilter& node_ok = {});
 
 /// P̂*(s,t): shortest paths (under `length`) collected until their combined
 /// capacity reaches `demand`, reducing each chosen path's bottleneck from a

@@ -5,54 +5,61 @@
 
 namespace netrec::graph {
 
-std::vector<int> bfs_hops(const Graph& g, NodeId source,
-                          const EdgeFilter& edge_ok,
-                          const NodeFilter& node_ok) {
-  std::vector<int> dist(g.num_nodes(), -1);
-  g.check_node(source);
+namespace {
+
+GraphView filtered_view(const Graph& g, const EdgeFilter& edge_ok,
+                        const NodeFilter& node_ok = {}) {
+  ViewConfig config;
+  config.edge_ok = edge_ok;
+  config.node_ok = node_ok;
+  return GraphView::build(g, config);
+}
+
+}  // namespace
+
+// --- view-based ------------------------------------------------------------
+
+std::vector<int> bfs_hops(const GraphView& view, NodeId source) {
+  view.graph().check_node(source);
+  std::vector<int> dist(view.num_nodes(), -1);
   dist[static_cast<std::size_t>(source)] = 0;
   std::deque<NodeId> queue{source};
   while (!queue.empty()) {
     const NodeId at = queue.front();
     queue.pop_front();
-    for (EdgeId e : g.incident_edges(at)) {
-      if (edge_ok && !edge_ok(e)) continue;
-      const NodeId next = g.other_endpoint(e, at);
+    const int next_dist = dist[static_cast<std::size_t>(at)] + 1;
+    const ArcId end = view.arcs_end(at);
+    for (ArcId a = view.arcs_begin(at); a < end; ++a) {
+      const NodeId next = view.arc_target(a);
       if (dist[static_cast<std::size_t>(next)] != -1) continue;
-      if (node_ok && !node_ok(next)) continue;
-      dist[static_cast<std::size_t>(next)] =
-          dist[static_cast<std::size_t>(at)] + 1;
+      dist[static_cast<std::size_t>(next)] = next_dist;
       queue.push_back(next);
     }
   }
   return dist;
 }
 
-bool reachable(const Graph& g, NodeId source, NodeId target,
-               const EdgeFilter& edge_ok, const NodeFilter& node_ok) {
+bool reachable(const GraphView& view, NodeId source, NodeId target) {
   if (source == target) return true;
-  const auto dist = bfs_hops(g, source, edge_ok, node_ok);
+  const auto dist = bfs_hops(view, source);
   return dist[static_cast<std::size_t>(target)] != -1;
 }
 
-std::vector<int> connected_components(const Graph& g,
-                                      const EdgeFilter& edge_ok,
-                                      const NodeFilter& node_ok) {
-  std::vector<int> label(g.num_nodes(), -1);
+std::vector<int> connected_components(const GraphView& view) {
+  std::vector<int> label(view.num_nodes(), -1);
   int next_label = 0;
-  for (std::size_t start = 0; start < g.num_nodes(); ++start) {
+  for (std::size_t start = 0; start < view.num_nodes(); ++start) {
     if (label[start] != -1) continue;
-    if (node_ok && !node_ok(static_cast<NodeId>(start))) continue;
+    if (!view.node_in_view(static_cast<NodeId>(start))) continue;
     label[start] = next_label;
     std::deque<NodeId> queue{static_cast<NodeId>(start)};
     while (!queue.empty()) {
       const NodeId at = queue.front();
       queue.pop_front();
-      for (EdgeId e : g.incident_edges(at)) {
-        if (edge_ok && !edge_ok(e)) continue;
-        const NodeId to = g.other_endpoint(e, at);
+      const ArcId end = view.arcs_end(at);
+      for (ArcId a = view.arcs_begin(at); a < end; ++a) {
+        const NodeId to = view.arc_target(a);
         if (label[static_cast<std::size_t>(to)] != -1) continue;
-        if (node_ok && !node_ok(to)) continue;
         label[static_cast<std::size_t>(to)] = next_label;
         queue.push_back(to);
       }
@@ -62,9 +69,8 @@ std::vector<int> connected_components(const Graph& g,
   return label;
 }
 
-std::vector<NodeId> giant_component(const Graph& g, const EdgeFilter& edge_ok,
-                                    const NodeFilter& node_ok) {
-  const auto label = connected_components(g, edge_ok, node_ok);
+std::vector<NodeId> giant_component(const GraphView& view) {
+  const auto label = connected_components(view);
   int max_label = -1;
   for (int l : label) max_label = std::max(max_label, l);
   if (max_label < 0) return {};
@@ -81,10 +87,10 @@ std::vector<NodeId> giant_component(const Graph& g, const EdgeFilter& edge_ok,
   return out;
 }
 
-int hop_diameter(const Graph& g, const EdgeFilter& edge_ok) {
+int hop_diameter(const GraphView& view) {
   int diameter = 0;
-  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
-    const auto dist = bfs_hops(g, static_cast<NodeId>(s), edge_ok);
+  for (std::size_t s = 0; s < view.num_nodes(); ++s) {
+    const auto dist = bfs_hops(view, static_cast<NodeId>(s));
     for (int d : dist) {
       if (d == -1) return -1;
       diameter = std::max(diameter, d);
@@ -93,14 +99,49 @@ int hop_diameter(const Graph& g, const EdgeFilter& edge_ok) {
   return diameter;
 }
 
-std::vector<std::vector<int>> all_pairs_hops(const Graph& g,
-                                             const EdgeFilter& edge_ok) {
+std::vector<std::vector<int>> all_pairs_hops(const GraphView& view) {
   std::vector<std::vector<int>> out;
-  out.reserve(g.num_nodes());
-  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
-    out.push_back(bfs_hops(g, static_cast<NodeId>(s), edge_ok));
+  out.reserve(view.num_nodes());
+  for (std::size_t s = 0; s < view.num_nodes(); ++s) {
+    out.push_back(bfs_hops(view, static_cast<NodeId>(s)));
   }
   return out;
+}
+
+// --- callback wrappers -----------------------------------------------------
+
+std::vector<int> bfs_hops(const Graph& g, NodeId source,
+                          const EdgeFilter& edge_ok,
+                          const NodeFilter& node_ok) {
+  g.check_node(source);
+  return bfs_hops(filtered_view(g, edge_ok, node_ok), source);
+}
+
+bool reachable(const Graph& g, NodeId source, NodeId target,
+               const EdgeFilter& edge_ok, const NodeFilter& node_ok) {
+  if (source == target) return true;
+  const auto dist = bfs_hops(g, source, edge_ok, node_ok);
+  return dist[static_cast<std::size_t>(target)] != -1;
+}
+
+std::vector<int> connected_components(const Graph& g,
+                                      const EdgeFilter& edge_ok,
+                                      const NodeFilter& node_ok) {
+  return connected_components(filtered_view(g, edge_ok, node_ok));
+}
+
+std::vector<NodeId> giant_component(const Graph& g, const EdgeFilter& edge_ok,
+                                    const NodeFilter& node_ok) {
+  return giant_component(filtered_view(g, edge_ok, node_ok));
+}
+
+int hop_diameter(const Graph& g, const EdgeFilter& edge_ok) {
+  return hop_diameter(filtered_view(g, edge_ok));
+}
+
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g,
+                                             const EdgeFilter& edge_ok) {
+  return all_pairs_hops(filtered_view(g, edge_ok));
 }
 
 }  // namespace netrec::graph

@@ -2,13 +2,43 @@
 // components, diameter.  All routines honour optional node/edge filters so
 // they can run on the working subgraph, the full graph, or ISP's bubble
 // search space without copying the graph.
+//
+// The GraphView overloads traverse a flat CSR snapshot (no per-edge callback
+// indirection) and amortise one view build over many sources — hop_diameter
+// and all_pairs_hops use them internally.  The callback signatures remain as
+// thin wrappers that materialise a view per call.
 #pragma once
 
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::graph {
+
+// --- view-based (hot path) -------------------------------------------------
+
+/// Hop distance from `source` to every node (-1 when unreachable).  The
+/// source is always distance 0, even when it fails the view's node filter
+/// (its outgoing arcs are preserved; see view.hpp).
+std::vector<int> bfs_hops(const GraphView& view, NodeId source);
+
+/// True iff `target` is reachable from `source` in the view.
+bool reachable(const GraphView& view, NodeId source, NodeId target);
+
+/// Component label per node (-1 for nodes outside the view); labels dense.
+std::vector<int> connected_components(const GraphView& view);
+
+/// Node ids of the largest component in the view.
+std::vector<NodeId> giant_component(const GraphView& view);
+
+/// Hop diameter (max eccentricity over the view); -1 if disconnected.
+int hop_diameter(const GraphView& view);
+
+/// BFS hop distances from every source over one shared view.
+std::vector<std::vector<int>> all_pairs_hops(const GraphView& view);
+
+// --- callback wrappers (historical signatures) -----------------------------
 
 /// Hop distance from `source` to every node (-1 when unreachable).
 /// Edges failing `edge_ok` and nodes failing `node_ok` are not traversed;
@@ -21,7 +51,7 @@ std::vector<int> bfs_hops(const Graph& g, NodeId source,
 bool reachable(const Graph& g, NodeId source, NodeId target,
                const EdgeFilter& edge_ok = {}, const NodeFilter& node_ok = {});
 
-/// Component label per node (-1 for nodes failing node_ok); labels dense 0..k-1.
+/// Component label per node (-1 for nodes failing node_ok); dense labels.
 std::vector<int> connected_components(const Graph& g,
                                       const EdgeFilter& edge_ok = {},
                                       const NodeFilter& node_ok = {});

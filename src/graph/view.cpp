@@ -1,0 +1,85 @@
+#include "graph/view.hpp"
+
+namespace netrec::graph {
+
+GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
+  GraphView view;
+  view.g_ = &g;
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+
+  view.node_in_view_.assign(n, 1);
+  if (config.node_ok) {
+    for (std::size_t i = 0; i < n; ++i) {
+      view.node_in_view_[i] = config.node_ok(static_cast<NodeId>(i)) ? 1 : 0;
+    }
+  }
+
+  // Edge verdicts and weights, one callback evaluation per edge.  Weights
+  // are consulted for edges passing the edge filter only (the callback
+  // algorithms' contract); filtered edges keep 0.
+  std::vector<char> edge_pass(m, 1);
+  view.edge_in_view_.assign(m, 0);
+  view.edge_lengths_.assign(m, 0.0);
+  view.edge_capacities_.assign(m, 0.0);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto id = static_cast<EdgeId>(e);
+    if (config.edge_ok && !config.edge_ok(id)) {
+      edge_pass[e] = 0;
+      continue;
+    }
+    const Edge& edge = g.edge(id);
+    view.edge_in_view_[e] =
+        view.node_in_view_[static_cast<std::size_t>(edge.u)] &&
+                view.node_in_view_[static_cast<std::size_t>(edge.v)]
+            ? 1
+            : 0;
+    view.edge_lengths_[e] = config.length ? config.length(id) : 1.0;
+    view.edge_capacities_[e] =
+        config.capacity ? config.capacity(id) : edge.capacity;
+  }
+
+  // CSR over directed arcs: u -> v present iff the edge passes and the
+  // *head* endpoint passes (legacy traversal semantics; see header).
+  view.offsets_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!edge_pass[e]) continue;
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    if (view.node_in_view_[static_cast<std::size_t>(edge.v)]) {
+      ++view.offsets_[static_cast<std::size_t>(edge.u) + 1];
+    }
+    if (view.node_in_view_[static_cast<std::size_t>(edge.u)]) {
+      ++view.offsets_[static_cast<std::size_t>(edge.v) + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) view.offsets_[i + 1] += view.offsets_[i];
+
+  const std::size_t arcs = view.offsets_[n];
+  view.arcs_.resize(arcs);
+  view.arc_capacities_.resize(arcs);
+  // Fill per node in adjacency (insertion) order so arc order — and with it
+  // every floating-point tie-break downstream — matches the callback path.
+  std::vector<ArcId> cursor(view.offsets_.begin(), view.offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto u = static_cast<NodeId>(i);
+    for (EdgeId e : g.incident_edges(u)) {
+      if (!edge_pass[static_cast<std::size_t>(e)]) continue;
+      const NodeId head = g.other_endpoint(e, u);
+      if (!view.node_in_view_[static_cast<std::size_t>(head)]) continue;
+      const ArcId a = cursor[i]++;
+      view.arcs_[a] = {head, e,
+                       view.edge_lengths_[static_cast<std::size_t>(e)]};
+      view.arc_capacities_[a] =
+          view.edge_capacities_[static_cast<std::size_t>(e)];
+    }
+  }
+  return view;
+}
+
+GraphView GraphView::working(const Graph& g) {
+  ViewConfig config;
+  config.edge_ok = working_edge_filter(g);
+  return build(g, config);
+}
+
+}  // namespace netrec::graph

@@ -1,0 +1,131 @@
+// Immutable CSR snapshot of a Graph under a filter/weight configuration.
+//
+// Every traversal in the reproduction (Dijkstra, widest path, Brandes
+// betweenness, Dinic max flow, the MCF pricing loop) historically paid a
+// std::function call per edge for EdgeFilter / NodeFilter / EdgeWeight,
+// re-evaluating usability and lengths that are constant for the duration of
+// an algorithm round.  GraphView::build flattens the configured subgraph
+// once, in O(V + E), into four parallel arrays (CSR offsets / arc targets /
+// arc edge ids / arc weights) plus node and edge usability bitsets; the
+// view-based algorithm overloads in graph/dijkstra.hpp, graph/traversal.hpp,
+// graph/betweenness.hpp, graph/maxflow.hpp and graph/simple_paths.hpp then
+// run on flat memory with zero per-edge indirection.
+//
+// Arc semantics match the callback algorithms exactly: the directed arc
+// u -> v of edge e is present iff edge_ok(e) passes and node_ok(v) passes.
+// Only the *head* endpoint is node-filtered — precisely the check the
+// legacy traversals apply — so a node excluded by the filter can still act
+// as a traversal source (its outgoing arcs exist) but is never reached
+// (arcs into it are dropped).  edge_in_view() additionally requires both
+// endpoints, which is the per-edge test the flow/LP layers use.  Arcs of a
+// node appear in the graph's adjacency (insertion) order, so view-based
+// algorithms settle ties in the same order as the callback path and produce
+// bit-identical distances, parents, scores and flows.
+//
+// Immutability / invalidation contract:
+//   * A GraphView is immutable after build(); all accessors are const and
+//     safe to share across threads without synchronisation.
+//   * The view borrows the Graph (no copy).  Any mutation of the graph —
+//     add_node/add_edge, flipping broken flags, editing capacities — leaves
+//     the view dangling or semantically stale; rebuild it.  Views are cheap
+//     (one O(V+E) pass) and meant to be materialised once per algorithm
+//     round, not cached across rounds.
+//   * Filter and weight callbacks are evaluated exactly once per element at
+//     build time and never retained, so temporaries may be passed freely.
+//     Weights are evaluated only for edges passing edge_ok, matching the
+//     callback algorithms' promise to consult weights on usable edges only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace netrec::graph {
+
+/// Arc index into a GraphView's CSR arrays.
+using ArcId = std::uint32_t;
+
+/// Build-time configuration: which elements are in the view and what the
+/// per-edge length / capacity metrics are.  Empty callbacks mean "accept
+/// everything" / "length 1" / "static graph capacity".
+struct ViewConfig {
+  EdgeFilter edge_ok;
+  NodeFilter node_ok;
+  EdgeWeight length;
+  EdgeWeight capacity;
+};
+
+class GraphView {
+ public:
+  /// Flattens `g` under `config` in one O(V + E) pass.
+  static GraphView build(const Graph& g, const ViewConfig& config = {});
+
+  /// View of the working subgraph G(n): broken elements excluded, unit
+  /// lengths, static capacities.
+  static GraphView working(const Graph& g);
+
+  const Graph& graph() const { return *g_; }
+  std::size_t num_nodes() const { return offsets_.size() - 1; }
+  /// Edge-id space of the underlying graph (filtered edges included).
+  std::size_t num_edges() const { return edge_in_view_.size(); }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  // --- CSR arc traversal --------------------------------------------------
+  ArcId arcs_begin(NodeId u) const {
+    return offsets_[static_cast<std::size_t>(u)];
+  }
+  ArcId arcs_end(NodeId u) const {
+    return offsets_[static_cast<std::size_t>(u) + 1];
+  }
+  /// Arcs are stored as one interleaved 16-byte record (head, edge id,
+  /// length) so a traversal touches a single cache line per arc; capacities
+  /// (used only by the flow algorithms) live in a parallel array.
+  NodeId arc_target(ArcId a) const { return arcs_[a].to; }
+  EdgeId arc_edge(ArcId a) const { return arcs_[a].edge; }
+  double arc_length(ArcId a) const { return arcs_[a].length; }
+  double arc_capacity(ArcId a) const { return arc_capacities_[a]; }
+
+  // --- per-element lookups ------------------------------------------------
+  /// Node passes the node filter (excluded nodes keep their outgoing arcs
+  /// but have none incoming; see header comment).
+  bool node_in_view(NodeId n) const {
+    return node_in_view_[static_cast<std::size_t>(n)] != 0;
+  }
+  /// Edge passes the edge filter and both endpoints pass the node filter.
+  bool edge_in_view(EdgeId e) const {
+    return edge_in_view_[static_cast<std::size_t>(e)] != 0;
+  }
+  double edge_length(EdgeId e) const {
+    return edge_lengths_[static_cast<std::size_t>(e)];
+  }
+  double edge_capacity(EdgeId e) const {
+    return edge_capacities_[static_cast<std::size_t>(e)];
+  }
+  /// Per-edge metric arrays indexed by original edge id (0 for edges
+  /// failing the edge filter, whose weights were never evaluated).
+  const std::vector<double>& edge_lengths() const { return edge_lengths_; }
+  const std::vector<double>& edge_capacities() const {
+    return edge_capacities_;
+  }
+
+ private:
+  GraphView() = default;
+
+  struct ArcRec {
+    NodeId to;
+    EdgeId edge;
+    double length;
+  };
+
+  const Graph* g_ = nullptr;
+  std::vector<ArcId> offsets_;       ///< size V+1
+  std::vector<ArcRec> arcs_;         ///< interleaved per-arc record
+  std::vector<double> arc_capacities_;  ///< edge capacity per arc
+  std::vector<char> node_in_view_;   ///< node filter verdicts
+  std::vector<char> edge_in_view_;   ///< edge usable with both endpoints
+  std::vector<double> edge_lengths_;    ///< per original edge id
+  std::vector<double> edge_capacities_;  ///< per original edge id
+};
+
+}  // namespace netrec::graph

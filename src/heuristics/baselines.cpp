@@ -6,6 +6,7 @@
 #include "core/repair_state.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/simple_paths.hpp"
+#include "graph/view.hpp"
 #include "mcf/routing.hpp"
 #include "util/timer.hpp"
 
@@ -52,15 +53,16 @@ core::RecoverySolution solve_srt(const core::RecoveryProblem& problem,
     return problem.demands[a].amount > problem.demands[b].amount;
   });
 
-  const auto hop_length = [](graph::EdgeId) { return 1.0; };
-  const auto cap = mcf::static_capacity(g);
+  // One full-graph snapshot (hop lengths, static capacities) serves every
+  // demand's successive-shortest-path collection.
+  const graph::GraphView view = graph::GraphView::build(g);
   for (std::size_t idx : order) {
     const mcf::Demand& d = problem.demands[idx];
     if (d.amount <= kEps || d.source == d.target) continue;
     // S_i: first shortest paths whose combined capacity covers d_i,
     // independently of other demands (full graph, static capacities).
-    const auto set = graph::successive_shortest_paths(
-        g, d.source, d.target, d.amount, hop_length, cap);
+    const auto set =
+        graph::successive_shortest_paths(view, d.source, d.target, d.amount);
     for (const auto& path : set.paths) state.repair_path(path);
   }
   finish(problem, state, solution, timer);
@@ -85,12 +87,15 @@ std::vector<RankedPath> build_path_pool(const core::RecoveryProblem& problem,
   limits.max_paths = options.max_paths_per_pair;
   limits.max_hops = options.max_hops;
   const auto cap = mcf::static_capacity(g);
+  // The pool enumerates the *full* graph (broken elements included); one
+  // snapshot serves every demand pair's DFS.
+  const graph::GraphView view = graph::GraphView::build(g);
 
   std::vector<RankedPath> pool;
   for (std::size_t h = 0; h < problem.demands.size(); ++h) {
     const mcf::Demand& d = problem.demands[h];
     if (d.amount <= kEps || d.source == d.target) continue;
-    for (auto& p : graph::all_simple_paths(g, d.source, d.target, limits)) {
+    for (auto& p : graph::all_simple_paths(view, d.source, d.target, limits)) {
       double cost = 0.0;
       std::vector<graph::NodeId> nodes = p.nodes(g);
       for (graph::NodeId n : nodes) {
@@ -133,18 +138,23 @@ core::RecoverySolution solve_grd_com(const core::RecoveryProblem& problem,
   auto residual_view = [&](graph::EdgeId e) {
     return residual[static_cast<std::size_t>(e)];
   };
-  auto working = [&](graph::EdgeId e) {
-    return state.edge_ok(e) && residual[static_cast<std::size_t>(e)] > kEps;
-  };
   auto total_remaining = [&]() {
     return std::accumulate(remaining.begin(), remaining.end(), 0.0);
   };
+  // Snapshot of the working-or-repaired subgraph; rebuilt after each repair
+  // (state changes only there), while the residual capacities mutate freely
+  // between the per-demand flow calls.
+  graph::ViewConfig working_config;
+  working_config.edge_ok = [&state](graph::EdgeId e) {
+    return state.edge_ok(e);
+  };
+  graph::GraphView working_view = graph::GraphView::build(g, working_config);
   // Routes as much of demand k as possible on the current repaired network.
   auto route_max = [&](std::size_t k) {
     if (remaining[k] <= kEps) return;
     const mcf::Demand& d = problem.demands[k];
     const auto flow =
-        graph::max_flow(g, d.source, d.target, residual_view, working);
+        graph::max_flow(working_view, d.source, d.target, residual);
     double assign = std::min(flow.value, remaining[k]);
     if (assign <= kEps) return;
     for (auto& [path, amount] :
@@ -165,6 +175,7 @@ core::RecoverySolution solve_grd_com(const core::RecoveryProblem& problem,
     if (remaining[ranked.demand] <= kEps) continue;
     // Repair the path, then commit the demand it was enumerated for.
     state.repair_path(ranked.path);
+    working_view = graph::GraphView::build(g, working_config);
     const double capacity = ranked.path.capacity(residual_view);
     const double assign = std::min(remaining[ranked.demand], capacity);
     if (assign > kEps) {

@@ -36,7 +36,11 @@ core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
     edge_kept[static_cast<std::size_t>(e)] = 1;
   }
 
-  auto edge_ok = [&](graph::EdgeId e) {
+  // Flat per-edge usability under the current keep flags, updated
+  // incrementally when a flip changes the few edges it touches; the
+  // routability probes then consult an O(1) array lookup instead of
+  // re-deriving brokenness per edge per probe.
+  auto edge_usable_now = [&](graph::EdgeId e) {
     const graph::Edge& edge = g.edge(e);
     if (edge.broken && !edge_kept[static_cast<std::size_t>(e)]) return false;
     if (g.node(edge.u).broken && !node_kept[static_cast<std::size_t>(edge.u)]) {
@@ -46,6 +50,24 @@ core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
       return false;
     }
     return true;
+  };
+  std::vector<char> usable(g.num_edges(), 0);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    usable[e] = edge_usable_now(static_cast<graph::EdgeId>(e)) ? 1 : 0;
+  }
+  auto refresh_element = [&](const Element& el) {
+    if (el.is_node) {
+      for (graph::EdgeId e :
+           g.incident_edges(static_cast<graph::NodeId>(el.id))) {
+        usable[static_cast<std::size_t>(e)] = edge_usable_now(e) ? 1 : 0;
+      }
+    } else {
+      const auto e = static_cast<graph::EdgeId>(el.id);
+      usable[static_cast<std::size_t>(e)] = edge_usable_now(e) ? 1 : 0;
+    }
+  };
+  auto edge_ok = [&](graph::EdgeId e) {
+    return usable[static_cast<std::size_t>(e)] != 0;
   };
   auto routable = [&]() {
     return mcf::is_routable(g, problem.demands, edge_ok, cap, options.lp);
@@ -79,10 +101,12 @@ core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
                                 : edge_kept[static_cast<std::size_t>(el.id)];
         if (!flag) continue;
         flag = 0;
+        refresh_element(el);
         if (routable()) {
           dropped = true;
         } else {
           flag = 1;  // needed after all
+          refresh_element(el);
         }
       }
       if (!dropped) break;

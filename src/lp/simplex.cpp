@@ -168,7 +168,8 @@ class SimplexEngine {
     std::vector<double> residual = rhs_;
     std::vector<char> basic(static_cast<std::size_t>(n_total_), 0);
     for (int r = 0; r < m_; ++r) {
-      basic[static_cast<std::size_t>(basic_of_row_[static_cast<std::size_t>(r)])] = 1;
+      const auto row_var = basic_of_row_[static_cast<std::size_t>(r)];
+      basic[static_cast<std::size_t>(row_var)] = 1;
     }
     for (int v = 0; v < n_total_; ++v) {
       if (basic[static_cast<std::size_t>(v)]) continue;
@@ -191,8 +192,8 @@ class SimplexEngine {
   std::vector<double> compute_duals() const {
     std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
     for (int r = 0; r < m_; ++r) {
-      const double cb =
-          cost_[static_cast<std::size_t>(basic_of_row_[static_cast<std::size_t>(r)])];
+      const auto row_var = basic_of_row_[static_cast<std::size_t>(r)];
+      const double cb = cost_[static_cast<std::size_t>(row_var)];
       if (cb == 0.0) continue;
       for (int c = 0; c < m_; ++c) {
         y[static_cast<std::size_t>(c)] += cb * binv_at(r, c);

@@ -6,6 +6,7 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/simple_paths.hpp"
+#include "graph/view.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 #include "util/log.hpp"
@@ -167,13 +168,21 @@ PathLpResult PathLp::solve() {
     columns.push_back(std::move(info));
   };
 
+  // CSR snapshot of the routable network for this solve: seeding and every
+  // pricing round run Dijkstra on it with flat per-edge arrays instead of
+  // std::function callbacks.  Default view lengths are the hop metric the
+  // seeds use; pricing passes its own per-round length array.
+  graph::ViewConfig view_config;
+  view_config.edge_ok = edge_ok_;
+  view_config.capacity = capacity_;
+  const graph::GraphView view = graph::GraphView::build(g_, view_config);
+
   // Seed columns: a few successive shortest (by hops) paths per demand.
   for (int h = 0; h < n_demands; ++h) {
     const Demand& d = demands[static_cast<std::size_t>(h)];
     if (d.source == d.target || d.amount <= kEps) continue;
     auto seeds = graph::successive_shortest_paths(
-        g_, d.source, d.target, d.amount, [](graph::EdgeId) { return 1.0; },
-        capacity_, edge_ok_, {}, opt_.seed_paths_per_demand);
+        view, d.source, d.target, d.amount, opt_.seed_paths_per_demand);
     for (auto& p : seeds.paths) add_column(h, std::move(p));
   }
 
@@ -227,19 +236,24 @@ PathLpResult PathLp::solve() {
     // Pricing: for each demand, shortest path under reduced-cost weights.
     // Capacity duals are <= 0 in minimisation, so -y_e >= 0; kMinCost adds
     // the (nonnegative) objective edge cost and the pinned-bound terms.
-    auto edge_weight = [&](graph::EdgeId e) -> double {
+    // The weights are fixed for the round, so they are flattened into one
+    // per-edge array and every demand's Dijkstra reads flat memory.
+    std::vector<double> edge_weight(g_.num_edges(), 0.0);
+    for (std::size_t e = 0; e < g_.num_edges(); ++e) {
+      const auto id = static_cast<graph::EdgeId>(e);
+      if (!view.edge_in_view(id)) continue;
       double w = 0.0;
-      const int row = capacity_row[static_cast<std::size_t>(e)];
+      const int row = capacity_row[e];
       if (row >= 0) w -= lp_solution.duals[static_cast<std::size_t>(row)];
       if (mode_ == PathLpMode::kMinCost) {
-        w += objective_edge_cost_(e);
+        w += objective_edge_cost_(id);
         for (std::size_t b = 0; b < cost_bounds_.size(); ++b) {
           w -= lp_solution.duals[static_cast<std::size_t>(bound_row[b])] *
-               cost_bounds_[b].edge_cost(e);
+               cost_bounds_[b].edge_cost(id);
         }
       }
-      return std::max(w, 0.0);
-    };
+      edge_weight[e] = std::max(w, 0.0);
+    }
 
     bool added_column = false;
     for (int h = 0; h < n_demands; ++h) {
@@ -254,7 +268,7 @@ PathLpResult PathLp::solve() {
           (mode_ == PathLpMode::kMaxRouted ? 1.0 + y_h : y_h) -
           opt_.tolerance * 10.0;
       if (threshold <= 0.0) continue;  // no path can improve
-      auto tree = graph::dijkstra(g_, d.source, edge_weight, edge_ok_);
+      auto tree = graph::dijkstra(view, d.source, edge_weight);
       if (!tree.reached(d.target)) continue;
       if (tree.distance[static_cast<std::size_t>(d.target)] < threshold) {
         auto path = tree.path_to(g_, d.target);

@@ -4,8 +4,8 @@
 #include <numeric>
 
 #include "graph/dijkstra.hpp"
-#include "graph/simple_paths.hpp"
 #include "graph/traversal.hpp"
+#include "graph/view.hpp"
 
 namespace netrec::mcf {
 
@@ -24,16 +24,15 @@ RoutingResult greedy_route(const graph::Graph& g,
   RoutingResult result;
   result.routed.assign(demands.size(), 0.0);
 
-  std::vector<double> residual(g.num_edges());
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    residual[e] = capacity(static_cast<graph::EdgeId>(e));
-  }
+  // One CSR snapshot for the whole greedy pass: hop lengths, the caller's
+  // capacities, usability narrowed per iteration by the residual array.
+  graph::ViewConfig config;
+  config.edge_ok = edge_ok;
+  config.capacity = capacity;
+  const graph::GraphView view = graph::GraphView::build(g, config);
+  std::vector<double> residual = view.edge_capacities();
   auto residual_view = [&](graph::EdgeId e) {
     return residual[static_cast<std::size_t>(e)];
-  };
-  auto usable = [&](graph::EdgeId e) {
-    if (residual[static_cast<std::size_t>(e)] <= kEps) return false;
-    return !edge_ok || edge_ok(e);
   };
 
   // Largest demands first: they are the hardest to place.
@@ -52,8 +51,8 @@ RoutingResult greedy_route(const graph::Graph& g,
     }
     double remaining = d.amount;
     while (remaining > kEps) {
-      auto sp = graph::shortest_path(
-          g, d.source, d.target, [](graph::EdgeId) { return 1.0; }, usable);
+      auto sp = graph::dijkstra_residual(view, d.source, residual)
+                    .path_to(g, d.target);
       if (!sp) break;
       const double cap = sp->capacity(residual_view);
       if (cap <= kEps) break;
@@ -92,13 +91,17 @@ RoutingResult route_demands(const graph::Graph& g,
                             const graph::EdgeFilter& edge_ok,
                             const graph::EdgeWeight& capacity,
                             const PathLpOptions& options) {
-  // Necessary condition, fast: endpoints connected under the filter.
+  // Necessary condition, fast: endpoints connected under the filter.  One
+  // positive-capacity snapshot answers every pair.
+  graph::ViewConfig reach_config;
+  reach_config.edge_ok = [&](graph::EdgeId e) {
+    if (edge_ok && !edge_ok(e)) return false;
+    return capacity(e) > kEps;
+  };
+  const graph::GraphView reach_view = graph::GraphView::build(g, reach_config);
   for (const Demand& d : demands) {
     if (d.amount <= kEps || d.source == d.target) continue;
-    if (!graph::reachable(g, d.source, d.target, [&](graph::EdgeId e) {
-          if (edge_ok && !edge_ok(e)) return false;
-          return capacity(e) > kEps;
-        })) {
+    if (!graph::reachable(reach_view, d.source, d.target)) {
       RoutingResult result;
       result.routed.assign(demands.size(), 0.0);
       result.fully_routed = false;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/traversal.hpp"
+#include "graph/view.hpp"
 #include "util/log.hpp"
 
 namespace netrec::scenario {
@@ -14,7 +15,9 @@ std::vector<mcf::Demand> far_apart_demands(const graph::Graph& g,
                                            std::size_t pairs, double amount,
                                            util::Rng& rng,
                                            double min_distance_factor) {
-  const int diameter = graph::hop_diameter(g);
+  // One full-graph snapshot serves the diameter scan and the all-pairs BFS.
+  const graph::GraphView view = graph::GraphView::build(g);
+  const int diameter = graph::hop_diameter(view);
   if (diameter < 0) {
     throw std::invalid_argument("far_apart_demands: disconnected supply graph");
   }
@@ -22,7 +25,7 @@ std::vector<mcf::Demand> far_apart_demands(const graph::Graph& g,
       std::ceil(diameter * min_distance_factor));
 
   // All admissible pairs.
-  const auto hops = graph::all_pairs_hops(g);
+  const auto hops = graph::all_pairs_hops(view);
   std::vector<std::pair<graph::NodeId, graph::NodeId>> admissible;
   for (std::size_t i = 0; i < g.num_nodes(); ++i) {
     for (std::size_t j = i + 1; j < g.num_nodes(); ++j) {

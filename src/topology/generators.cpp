@@ -54,9 +54,10 @@ graph::Graph caida_like(const CaidaLikeOptions& options, util::Rng& rng) {
   for (std::size_t i = 2; i < options.nodes; ++i) {
     const auto node = static_cast<graph::NodeId>(i);
     // Mostly single-homed stubs (m/n ratio must end near 1018/825 ~ 1.23).
+    const auto pool_max =
+        static_cast<std::int64_t>(attachment_pool.size()) - 1;
     graph::NodeId target = attachment_pool[static_cast<std::size_t>(
-        rng.uniform_int(0,
-                        static_cast<std::int64_t>(attachment_pool.size()) - 1))];
+        rng.uniform_int(0, pool_max))];
     g.add_edge(node, target, options.capacity, options.repair_cost);
     attachment_pool.push_back(node);
     attachment_pool.push_back(target);

@@ -53,8 +53,9 @@ int Flags::get_int(const std::string& name) const {
   try {
     return std::stoi(get(name));
   } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                get(name) + "'");
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got '" + get(name) +
+                                "'");
   }
 }
 

@@ -160,13 +160,15 @@ TEST(Maxflow, SingleEdge) {
   g.add_node();
   g.add_node();
   g.add_edge(0, 1, 7.5);
-  const auto r = max_flow(g, 0, 1, [&g](EdgeId e) { return g.edge(e).capacity; });
+  const auto r =
+      max_flow(g, 0, 1, [&g](EdgeId e) { return g.edge(e).capacity; });
   EXPECT_NEAR(r.value, 7.5, 1e-9);
 }
 
 TEST(Maxflow, ParallelPathsSum) {
   Graph g = make_square_with_diagonal();
-  const auto r = max_flow(g, 0, 2, [&g](EdgeId e) { return g.edge(e).capacity; });
+  const auto r =
+      max_flow(g, 0, 2, [&g](EdgeId e) { return g.edge(e).capacity; });
   // 0-1-2 (10) + 0-3-2 (10) + 0-2 (3).
   EXPECT_NEAR(r.value, 23.0, 1e-9);
 }

@@ -171,7 +171,8 @@ TEST(Multicommodity, BandBracketsBetweenSomethingAndAll) {
 class HeuristicOrdering : public ::testing::TestWithParam<int> {};
 
 TEST_P(HeuristicOrdering, OptLeIspAndNoIspLoss) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL +
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) *
+                    6364136223846793005ULL +
                 1442695040888963407ULL);
   RecoveryProblem p;
   const int n = static_cast<int>(rng.uniform_int(6, 10));

@@ -63,7 +63,9 @@ TEST(CaidaLike, ExactSizeConnectedHeavyTail) {
   EXPECT_EQ(g.num_edges(), 1018u);
   // Connected (growth model guarantees it).
   int max_label = 0;
-  for (int l : graph::connected_components(g)) max_label = std::max(max_label, l);
+  for (int l : graph::connected_components(g)) {
+    max_label = std::max(max_label, l);
+  }
   EXPECT_EQ(max_label, 0);
   // Heavy tail: a hub much larger than the median degree.
   EXPECT_GE(g.max_degree(), 20u);
