@@ -1,0 +1,185 @@
+// ISP backend benchmark: ViewCache-cached snapshots vs the graph::legacy
+// reference path, end to end.
+//
+// Runs the full ISP solver twice per seeded instance — once with
+// IspBackend::kViewCache (cached working/full/metric snapshots, refresh on
+// residual updates, rebuild on repairs) and once with IspBackend::kLegacy
+// (a fresh snapshot or callback sweep per call, the pre-ViewCache shape) —
+// on two scenario families:
+//
+//   * er        — Erdős–Rényi under heavy random disruption (prunes and
+//                 splits both fire).  At the default n=300 the per-call
+//                 snapshot builds are a real fraction of the solve and
+//                 view reuse buys ~1.3x;
+//   * bell_canada — the paper's Bell-Canada topology under complete
+//                 destruction (repair-dominated, many iterations).  At 48
+//                 nodes / 64 edges a snapshot build costs next to nothing,
+//                 so this family pins backend *identity* at ~1.0x rather
+//                 than demonstrating speedup — the cache's win grows with
+//                 |E|, which is the point of recording both.
+//
+// The two backends are differential-tested to be bit-identical
+// (tests/test_isp_differential.cpp); this driver re-checks the identity on
+// its own instances — repair cost, repair count and satisfaction must match
+// exactly or it refuses to report timings — then writes per-family mean
+// seconds and the speedup to --json (default BENCH_isp.json), the artifact
+// CI archives so the ISP perf trajectory accrues per PR.
+//
+// Like Fig 7a, wall time is the measured metric, so --threads defaults to 1.
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "disruption/disruption.hpp"
+#include "graph/traversal.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace netrec;
+
+core::RecoverySolution run_isp(const core::RecoveryProblem& p,
+                               core::IspBackend backend) {
+  core::IspOptions options;
+  options.backend = backend;
+  return core::IspSolver(p, options).solve();
+}
+
+int run(int argc, char** argv) {
+  util::Flags flags;
+  bench::declare_common_flags(flags, /*default_runs=*/3);
+  flags.define("threads", "1",
+               "worker threads (default 1: concurrent solves would inflate "
+               "the wall-clock comparison)");
+  flags.define("json", "BENCH_isp.json",
+               "write per-family timings and speedups to this path");
+  flags.define("nodes", "300", "Erdos-Renyi node count");
+  flags.define("edge-prob", "0.03", "Erdos-Renyi edge probability");
+  flags.define("pairs", "6", "demand pairs per instance");
+  flags.define("flow", "3", "demand flow per pair");
+  if (!bench::parse_or_usage(flags, argc, argv)) return 0;
+
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes"));
+  const double edge_prob = flags.get_double("edge-prob");
+  const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
+  const double flow = flags.get_double("flow");
+
+  scenario::RunnerOptions options = bench::runner_options(flags);
+  options.require_feasible = true;
+
+  scenario::SweepRunner sweep("perf_isp", "family", options);
+  sweep.add_algorithm(
+      "isp/legacy", [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        return run_isp(p, core::IspBackend::kLegacy);
+      });
+  sweep.add_algorithm(
+      "isp/viewcache",
+      [](const core::RecoveryProblem& p, scenario::RunContext&) {
+        return run_isp(p, core::IspBackend::kViewCache);
+      });
+
+  sweep.add_point("er", [nodes, edge_prob, pairs, flow](util::Rng& rng) {
+    core::RecoveryProblem problem;
+    topology::ErdosRenyiOptions eopt;
+    eopt.nodes = nodes;
+    eopt.edge_probability = edge_prob;
+    eopt.capacity = 4.0 * flow;
+    std::size_t attempts = 0;
+    do {
+      problem.graph = topology::erdos_renyi(eopt, rng);
+    } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
+    util::Rng demand_rng = rng.fork();
+    problem.demands =
+        scenario::far_apart_demands(problem.graph, pairs, flow, demand_rng);
+    for (std::size_t n = 0; n < problem.graph.num_nodes(); ++n) {
+      if (rng.chance(0.6)) {
+        problem.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+      }
+    }
+    for (std::size_t e = 0; e < problem.graph.num_edges(); ++e) {
+      if (rng.chance(0.6)) {
+        problem.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+      }
+    }
+    return problem;
+  });
+  sweep.add_point("bell_canada", [pairs, flow](util::Rng& rng) {
+    core::RecoveryProblem problem;
+    problem.graph = topology::bell_canada_like();
+    problem.demands =
+        scenario::far_apart_demands(problem.graph, pairs, flow, rng);
+    disruption::complete_destruction(problem.graph);
+    return problem;
+  });
+
+  const std::vector<bench::SeriesOutput> series = {
+      {"perf_isp: wall seconds per backend",
+       {.metric = "wall_seconds", .precision = 4},
+       ".time.csv"},
+      {"perf_isp: repair cost (legacy == viewcache required)",
+       {.metric = "repair_cost", .precision = 6},
+       ".cost.csv"}};
+  bench::preflight(flags, series);
+
+  scenario::SweepResult result = sweep.run();
+  bench::emit(result, series, flags);
+
+  util::Json families = util::Json::object();
+  const std::vector<std::string> family_names = {"er", "bell_canada"};
+  for (std::size_t point = 0; point < family_names.size(); ++point) {
+    // The backends must agree exactly on every solution-identity metric
+    // before the timing comparison means anything.
+    for (const char* metric : {"repair_cost", "total_repairs",
+                               "satisfied_pct"}) {
+      const double legacy = result.mean(point, "isp/legacy", metric);
+      const double cached = result.mean(point, "isp/viewcache", metric);
+      if (legacy != cached) {
+        throw std::runtime_error("perf_isp: " + family_names[point] + " " +
+                                 metric +
+                                 " diverges between backends — refusing to "
+                                 "report timings");
+      }
+    }
+    const double legacy_s =
+        result.mean(point, "isp/legacy", "wall_seconds");
+    const double cached_s =
+        result.mean(point, "isp/viewcache", "wall_seconds");
+    const double speedup = cached_s > 0.0 ? legacy_s / cached_s : 0.0;
+    std::printf("%s: legacy %.4fs  viewcache %.4fs  speedup %.2fx\n",
+                family_names[point].c_str(), legacy_s, cached_s, speedup);
+    util::Json entry = util::Json::object();
+    entry.set("legacy_seconds", legacy_s);
+    entry.set("viewcache_seconds", cached_s);
+    entry.set("speedup", speedup);
+    entry.set("repair_cost",
+              result.mean(point, "isp/viewcache", "repair_cost"));
+    families.set(family_names[point], std::move(entry));
+  }
+
+  const std::string json_path = flags.get("json");
+  if (!json_path.empty()) {
+    util::Json out = util::Json::object();
+    out.set("bench", "perf_isp");
+    out.set("seed", static_cast<double>(options.seed));
+    out.set("runs", options.runs);
+    util::Json config = util::Json::object();
+    config.set("nodes", nodes);
+    config.set("edge_probability", edge_prob);
+    config.set("pairs", pairs);
+    config.set("flow", flow);
+    out.set("config", std::move(config));
+    out.set("families", std::move(families));
+    out.set("sweep", result.to_json());
+    util::write_json_file(json_path, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

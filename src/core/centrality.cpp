@@ -44,15 +44,21 @@ CentralityResult demand_based_centrality(
     const graph::Graph& g, const std::vector<mcf::Demand>& demands,
     const graph::EdgeWeight& length, const graph::EdgeWeight& residual,
     const CentralityOptions& options) {
-  CentralityResult result(g.num_nodes(), demands.size());
-
   // The dynamic metric and residual capacities are constant for the duration
   // of one centrality evaluation (one ISP iteration), so flatten them into a
   // CSR snapshot once and collect every demand's P̂* on flat arrays.
   graph::ViewConfig config;
   config.length = length;
   config.capacity = residual;
-  const graph::GraphView view = graph::GraphView::build(g, config);
+  return demand_based_centrality(graph::GraphView::build(g, config), demands,
+                                 options);
+}
+
+CentralityResult demand_based_centrality(
+    const graph::GraphView& view, const std::vector<mcf::Demand>& demands,
+    const CentralityOptions& options) {
+  const graph::Graph& g = view.graph();
+  CentralityResult result(g.num_nodes(), demands.size());
 
   for (std::size_t h = 0; h < demands.size(); ++h) {
     const mcf::Demand& d = demands[h];

@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
+#include "graph/view.hpp"
 #include "mcf/types.hpp"
 
 namespace netrec::core {
@@ -74,6 +75,13 @@ class CentralityResult {
 CentralityResult demand_based_centrality(
     const graph::Graph& g, const std::vector<mcf::Demand>& demands,
     const graph::EdgeWeight& length, const graph::EdgeWeight& residual,
+    const CentralityOptions& options = {});
+
+/// Same estimate on a borrowed (typically ViewCache-owned) snapshot whose
+/// lengths are the dynamic metric and capacities the residuals — ISP's
+/// per-iteration call without the per-call view build.
+CentralityResult demand_based_centrality(
+    const graph::GraphView& view, const std::vector<mcf::Demand>& demands,
     const CentralityOptions& options = {});
 
 }  // namespace netrec::core

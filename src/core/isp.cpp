@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <unordered_set>
 
@@ -13,6 +14,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/traversal.hpp"
+#include "graph/view_cache.hpp"
 #include "mcf/routing.hpp"
 #include "mcf/split.hpp"
 #include "util/log.hpp"
@@ -85,9 +87,56 @@ class Engine {
       demands_.push_back(
           {d.source, d.target, d.amount, static_cast<int>(h)});
     }
+    if (opt_.backend == IspBackend::kViewCache) {
+      // Cached snapshots for the whole solve.  Residual tests stay OUT of
+      // the filters (the algorithms skip drained arcs per call) so residual
+      // consumption is a weight refresh; repairs flip working-filter
+      // verdicts and rebuild exactly the slots whose membership changed.
+      cache_.emplace(g_);
+      graph::ViewConfig working_config;
+      working_config.edge_ok = [this](graph::EdgeId e) {
+        return state_.edge_ok(e);
+      };
+      working_config.capacity = residual_view();
+      slot_working_ =
+          cache_->add_config("working", std::move(working_config));
+      graph::ViewConfig full_config;
+      full_config.capacity = residual_view();
+      slot_full_ = cache_->add_config("full", std::move(full_config));
+      graph::ViewConfig metric_config;
+      metric_config.length = dynamic_length();
+      metric_config.capacity = residual_view();
+      slot_metric_ = cache_->add_config("metric", std::move(metric_config));
+      if (opt_.use_classic_betweenness) {
+        // Residual-positive membership: a residual hitting zero flips the
+        // verdict and the cache escalates the refresh to a rebuild.
+        graph::ViewConfig usable_config;
+        usable_config.edge_ok = full_filter();
+        usable_config.length = dynamic_length();
+        slot_usable_ = cache_->add_config("usable", std::move(usable_config));
+      }
+      state_.publish_to(&*cache_);
+    }
   }
 
   RepairState& state() { return state_; }
+
+  // --- cached views --------------------------------------------------------
+
+  bool cached() const { return cache_.has_value(); }
+  const graph::GraphView& working_view() {
+    return cache_->view(slot_working_);
+  }
+  const graph::GraphView& full_view() { return cache_->view(slot_full_); }
+  const graph::GraphView& metric_view() { return cache_->view(slot_metric_); }
+  const graph::GraphView& usable_view() { return cache_->view(slot_usable_); }
+
+  /// Consumes residual capacity and publishes the (weight-only) mutation.
+  void consume_residual(graph::EdgeId e, double amount) {
+    auto& r = residual_[static_cast<std::size_t>(e)];
+    r = std::max(0.0, r - amount);
+    if (cache_) cache_->invalidate_edge(e);
+  }
 
   // --- capacity / filter views -------------------------------------------
 
@@ -142,14 +191,20 @@ class Engine {
 
   // --- termination test ----------------------------------------------------
 
-  bool routable_on_working() const {
+  bool routable_on_working() {
     if (demands_.empty()) return true;
+    if (cached()) {
+      return mcf::is_routable(working_view(), current_demands(), opt_.lp);
+    }
     return mcf::is_routable(g_, current_demands(), working_filter(),
                             residual_view(), opt_.lp);
   }
 
-  bool routable_on_full() const {
+  bool routable_on_full() {
     if (demands_.empty()) return true;
+    if (cached()) {
+      return mcf::is_routable(full_view(), current_demands(), opt_.lp);
+    }
     return mcf::is_routable(g_, current_demands(), full_filter(),
                             residual_view(), opt_.lp);
   }
@@ -182,20 +237,42 @@ class Engine {
     std::vector<char> in_s(g_.num_nodes(), 0);
     in_s[static_cast<std::size_t>(dem.source)] = 1;
     std::deque<graph::NodeId> queue{dem.source};
-    const auto usable = working_filter();
     bool reached_t = false;
-    while (!queue.empty()) {
-      const graph::NodeId at = queue.front();
-      queue.pop_front();
-      if (at == dem.target) continue;  // do not grow the bubble past t
-      for (graph::EdgeId e : g_.incident_edges(at)) {
-        if (!usable(e)) continue;
-        const graph::NodeId to = g_.other_endpoint(e, at);
-        if (in_s[static_cast<std::size_t>(to)]) continue;
-        if (blocked[static_cast<std::size_t>(to)]) continue;  // wall
-        in_s[static_cast<std::size_t>(to)] = 1;
-        if (to == dem.target) reached_t = true;
-        queue.push_back(to);
+    if (cached()) {
+      // Cached working arcs (state-usable edges); the residual test the
+      // callback filter folded in is applied per arc.
+      const graph::GraphView& wv = working_view();
+      while (!queue.empty()) {
+        const graph::NodeId at = queue.front();
+        queue.pop_front();
+        if (at == dem.target) continue;  // do not grow the bubble past t
+        const graph::ArcId end = wv.arcs_end(at);
+        for (graph::ArcId a = wv.arcs_begin(at); a < end; ++a) {
+          const graph::EdgeId e = wv.arc_edge(a);
+          if (residual_[static_cast<std::size_t>(e)] <= kEps) continue;
+          const graph::NodeId to = wv.arc_target(a);
+          if (in_s[static_cast<std::size_t>(to)]) continue;
+          if (blocked[static_cast<std::size_t>(to)]) continue;  // wall
+          in_s[static_cast<std::size_t>(to)] = 1;
+          if (to == dem.target) reached_t = true;
+          queue.push_back(to);
+        }
+      }
+    } else {
+      const auto usable = working_filter();
+      while (!queue.empty()) {
+        const graph::NodeId at = queue.front();
+        queue.pop_front();
+        if (at == dem.target) continue;  // do not grow the bubble past t
+        for (graph::EdgeId e : g_.incident_edges(at)) {
+          if (!usable(e)) continue;
+          const graph::NodeId to = g_.other_endpoint(e, at);
+          if (in_s[static_cast<std::size_t>(to)]) continue;
+          if (blocked[static_cast<std::size_t>(to)]) continue;  // wall
+          in_s[static_cast<std::size_t>(to)] = 1;
+          if (to == dem.target) reached_t = true;
+          queue.push_back(to);
+        }
       }
     }
     if (!reached_t) return 0.0;
@@ -217,11 +294,15 @@ class Engine {
     }
 
     // Max flow inside the bubble on working edges and residual capacities.
-    auto node_in_s = [&in_s](graph::NodeId n) {
-      return in_s[static_cast<std::size_t>(n)] != 0;
-    };
-    const auto flow = graph::max_flow(g_, dem.source, dem.target,
-                                      residual_view(), usable, node_in_s);
+    const auto flow =
+        cached()
+            ? graph::max_flow(working_view(), dem.source, dem.target,
+                              residual_, in_s)
+            : graph::legacy::max_flow(
+                  g_, dem.source, dem.target, residual_view(),
+                  working_filter(), [&in_s](graph::NodeId n) {
+                    return in_s[static_cast<std::size_t>(n)] != 0;
+                  });
     const double k = std::min(flow.value, dem.amount);
     if (k <= opt_.tolerance) return 0.0;
 
@@ -232,10 +313,7 @@ class Engine {
     for (auto& [path, amount] : paths) {
       if (remaining <= kEps) break;
       const double take = std::min(amount, remaining);
-      for (graph::EdgeId e : path.edges) {
-        residual_[static_cast<std::size_t>(e)] =
-            std::max(0.0, residual_[static_cast<std::size_t>(e)] - take);
-      }
+      for (graph::EdgeId e : path.edges) consume_residual(e, take);
       mcf::PathFlow pf;
       pf.demand_index = dem.origin;
       pf.path = std::move(path);
@@ -286,15 +364,23 @@ class Engine {
       if (e == graph::kInvalidEdge) continue;
       if (!g_.edge(e).broken || state_.edge_repaired(e)) continue;
       // "cannot be satisfied by any working path (including L(n))".
-      const auto flow = graph::max_flow(g_, dem.source, dem.target,
-                                        residual_view(), working_filter());
+      // (Views re-fetched per demand: a repair below invalidates them.)
+      const auto flow =
+          cached() ? graph::max_flow(working_view(), dem.source, dem.target,
+                                     residual_)
+                   : graph::legacy::max_flow(g_, dem.source, dem.target,
+                                             residual_view(),
+                                             working_filter());
       if (flow.value >= dem.amount - opt_.tolerance) continue;
       // Interpretation choice (documented in DESIGN.md): only repair the
       // direct edge when it is also a cheapest dynamic-metric route — with
       // the paper's homogeneous costs this always holds, but it stops the
       // rule from buying an expensive shortcut past a cheap corridor.
       const auto tree =
-          graph::dijkstra(g_, dem.source, length, full_filter());
+          cached()
+              ? graph::dijkstra_residual(metric_view(), dem.source, residual_)
+              : graph::legacy::dijkstra(g_, dem.source, length,
+                                        full_filter());
       if (tree.reached(dem.target) &&
           tree.distance[static_cast<std::size_t>(dem.target)] <
               length(e) - 1e-12) {
@@ -315,15 +401,21 @@ class Engine {
 
   bool split_phase() {
     const CentralityOptions copt{opt_.metric_const, opt_.centrality_max_paths};
-    const auto centrality = demand_based_centrality(
-        g_, current_demands(), dynamic_length(), residual_view(), copt);
+    const auto centrality =
+        cached() ? demand_based_centrality(metric_view(), current_demands(),
+                                           copt)
+                 : demand_based_centrality(g_, current_demands(),
+                                           dynamic_length(), residual_view(),
+                                           copt);
     std::vector<graph::NodeId> ranking;
     std::vector<double> ranking_score;
     if (opt_.use_classic_betweenness) {
       // Ablation: classic betweenness ignores demands and capacities; the
       // demand path sets are still needed for split-candidate selection.
-      ranking_score = graph::betweenness_centrality(g_, dynamic_length(),
-                                                    full_filter());
+      ranking_score =
+          cached() ? graph::betweenness_centrality(usable_view())
+                   : graph::legacy::betweenness_centrality(
+                         g_, dynamic_length(), full_filter());
       ranking.resize(g_.num_nodes());
       std::iota(ranking.begin(), ranking.end(), 0);
       std::stable_sort(ranking.begin(), ranking.end(),
@@ -358,8 +450,12 @@ class Engine {
         const double through =
             centrality.capacity_through(h, vbc, g_);
         if (through <= kEps) continue;
-        const auto flow = graph::max_flow(g_, dem.source, dem.target,
-                                          residual_view(), full_filter());
+        const auto flow =
+            cached() ? graph::max_flow(full_view(), dem.source, dem.target,
+                                       residual_)
+                     : graph::legacy::max_flow(g_, dem.source, dem.target,
+                                               residual_view(),
+                                               full_filter());
         if (flow.value <= kEps) continue;  // infeasible even on full graph
         candidates.push_back(
             {static_cast<std::size_t>(h),
@@ -377,9 +473,17 @@ class Engine {
 
       for (const Candidate& cand : candidates) {
         const auto& dem = demands_[cand.demand];
-        const double dx = mcf::max_splittable_amount(
-            g_, current_demands(), static_cast<int>(cand.demand), vbc,
-            full_filter(), residual_view(), opt_.lp);
+        // full_view() re-fetched per candidate: repairing v_BC above only
+        // refreshed weights, but staying synced is the cache's job, not
+        // this loop's.
+        const double dx =
+            cached() ? mcf::max_splittable_amount(
+                           full_view(), current_demands(),
+                           static_cast<int>(cand.demand), vbc, opt_.lp)
+                     : mcf::max_splittable_amount(
+                           g_, current_demands(),
+                           static_cast<int>(cand.demand), vbc, full_filter(),
+                           residual_view(), opt_.lp);
         if (dx <= opt_.tolerance) continue;
         apply_split(cand.demand, vbc, std::min(dx, dem.amount));
         return true;
@@ -446,8 +550,12 @@ class Engine {
     double worst_gap = opt_.tolerance;
     for (std::size_t h = 0; h < demands_.size(); ++h) {
       const auto& dem = demands_[h];
-      const auto flow = graph::max_flow(g_, dem.source, dem.target,
-                                        residual_view(), working_filter());
+      const auto flow =
+          cached() ? graph::max_flow(working_view(), dem.source, dem.target,
+                                     residual_)
+                   : graph::legacy::max_flow(g_, dem.source, dem.target,
+                                             residual_view(),
+                                             working_filter());
       const double gap = dem.amount - flow.value;
       if (gap > worst_gap) {
         worst_gap = gap;
@@ -460,8 +568,13 @@ class Engine {
       return exact_completion();
     }
     const auto& dem = demands_[worst];
-    const auto path = graph::shortest_path(g_, dem.source, dem.target,
-                                           dynamic_length(), full_filter());
+    const auto path =
+        cached()
+            ? graph::dijkstra_residual(metric_view(), dem.source, residual_)
+                  .path_to(g_, dem.target)
+            : graph::legacy::dijkstra(g_, dem.source, dynamic_length(),
+                                      full_filter())
+                  .path_to(g_, dem.target);
     bool repaired = false;
     if (path) {
       graph::NodeId at = path->start;
@@ -499,10 +612,17 @@ class Engine {
       }
       return c;
     };
-    mcf::PathLp lp(g_, current_demands(), full_filter(), residual_view(),
-                   opt_.lp);
-    lp.set_min_cost(pending_cost);
-    const mcf::PathLpResult result = lp.solve();
+    const mcf::PathLpResult result = [&] {
+      if (cached()) {
+        mcf::PathLp lp(full_view(), current_demands(), opt_.lp);
+        lp.set_min_cost(pending_cost);
+        return lp.solve();
+      }
+      mcf::PathLp lp(g_, current_demands(), full_filter(), residual_view(),
+                     opt_.lp);
+      lp.set_min_cost(pending_cost);
+      return lp.solve();
+    }();
     if (!result.routing.fully_routed) return false;
 
     // Candidate repairs: every pending element the witness routing touches.
@@ -601,6 +721,13 @@ class Engine {
   std::vector<double> residual_;
   std::vector<double> jitter_;
   std::vector<mcf::PathFlow> pruned_flows_;
+  /// Engaged iff opt_.backend == kViewCache; RepairState publishes repairs
+  /// into it and consume_residual publishes capacity updates.
+  std::optional<graph::ViewCache> cache_;
+  graph::ViewCache::SlotId slot_working_ = 0;
+  graph::ViewCache::SlotId slot_full_ = 0;
+  graph::ViewCache::SlotId slot_metric_ = 0;
+  graph::ViewCache::SlotId slot_usable_ = 0;
 };
 
 }  // namespace

@@ -30,6 +30,21 @@
 
 namespace netrec::core {
 
+/// Which graph-query machinery the ISP engine drives its inner loop with.
+enum class IspBackend {
+  /// Cached GraphViews (graph::ViewCache): the working/full/metric snapshots
+  /// persist across iterations and sync through RepairState/residual
+  /// mutation events — refresh on residual-weight changes, rebuild on
+  /// repairs.  The default and the fast path.
+  kViewCache,
+  /// The pre-ViewCache reference: graph::legacy kernels for the direct
+  /// dijkstra/max-flow call sites and the view-materialising callback entry
+  /// points for the composite ones (routability, PathLp, centrality) — a
+  /// fresh snapshot or callback sweep per call.  Kept so the differential
+  /// test harness can pin bit-identical behaviour between the two paths.
+  kLegacy,
+};
+
 struct IspOptions {
   double tolerance = 1e-7;
   std::size_t max_iterations = 5000;
@@ -50,6 +65,9 @@ struct IspOptions {
   double length_jitter = 0.0;
   std::uint64_t jitter_seed = 1;
   mcf::PathLpOptions lp;
+  /// See IspBackend; kLegacy exists for the differential harness and the
+  /// perf_isp before/after bench.
+  IspBackend backend = IspBackend::kViewCache;
 };
 
 /// One algorithm action, for tracing/examples.

@@ -1,5 +1,7 @@
 #include "core/repair_state.hpp"
 
+#include "graph/view_cache.hpp"
+
 namespace netrec::core {
 
 RepairState::RepairState(const graph::Graph& g)
@@ -13,6 +15,7 @@ bool RepairState::repair_node(graph::NodeId n) {
   node_repaired_[static_cast<std::size_t>(n)] = 1;
   repaired_node_list_.push_back(n);
   cost_ += g_.node(n).repair_cost;
+  if (cache_) cache_->invalidate_node(n);
   return true;
 }
 
@@ -22,6 +25,7 @@ bool RepairState::repair_edge(graph::EdgeId e) {
   edge_repaired_[static_cast<std::size_t>(e)] = 1;
   repaired_edge_list_.push_back(e);
   cost_ += g_.edge(e).repair_cost;
+  if (cache_) cache_->invalidate_edge(e);
   return true;
 }
 

@@ -10,11 +10,21 @@
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
 
+namespace netrec::graph {
+class ViewCache;
+}  // namespace netrec::graph
+
 namespace netrec::core {
 
 class RepairState {
  public:
   explicit RepairState(const graph::Graph& g);
+
+  /// Publishes every successful repair into `cache` (invalidate_node /
+  /// invalidate_edge), so cached views over filters reading this state stay
+  /// coherent without the solver sprinkling invalidation calls by hand.
+  /// Pass nullptr to detach.  The cache is borrowed, not owned.
+  void publish_to(graph::ViewCache* cache) { cache_ = cache; }
 
   /// Marks a broken node repaired; returns true if it changed state.
   bool repair_node(graph::NodeId n);
@@ -55,6 +65,7 @@ class RepairState {
 
  private:
   const graph::Graph& g_;
+  graph::ViewCache* cache_ = nullptr;
   std::vector<char> node_repaired_;
   std::vector<char> edge_repaired_;
   std::vector<graph::NodeId> repaired_node_list_;

@@ -46,6 +46,13 @@ ShortestPathTree dijkstra(const GraphView& view, NodeId source);
 ShortestPathTree dijkstra(const GraphView& view, NodeId source,
                           const std::vector<double>& edge_length);
 
+/// Caller-supplied lengths *and* a residual skip (entries <= 1e-9 are not
+/// traversed) — the pricing loop of a PathLp running on a borrowed cached
+/// view, whose arcs may include zero-capacity edges.
+ShortestPathTree dijkstra(const GraphView& view, NodeId source,
+                          const std::vector<double>& edge_length,
+                          const std::vector<double>& edge_residual);
+
 /// Dijkstra under the view's lengths, skipping edges whose entry in
 /// `edge_residual` is <= 1e-9 — the residual-capacity loops of greedy
 /// routing and successive shortest paths.

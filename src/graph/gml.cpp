@@ -1,6 +1,7 @@
 #include "graph/gml.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -164,6 +165,34 @@ std::optional<std::string> get_string(const Record& r,
   return std::nullopt;
 }
 
+/// Guard in the Graph::add_node/add_edge style (PR 2): numeric attributes
+/// that feed capacities, repair costs or coordinates must be finite, and
+/// the first two nonnegative — `nan`/`inf` lex as identifiers and quoted
+/// numbers pass std::stod, so without this check they would flow straight
+/// into the algorithms as UB fuel.
+double checked_number(double value, const char* what, const char* element,
+                      long long id, bool require_nonnegative) {
+  if (!std::isfinite(value) || (require_nonnegative && value < 0.0)) {
+    std::ostringstream message;
+    message << "GML: " << element << ' ' << id << " has invalid " << what
+            << " (" << value << ')';
+    throw std::runtime_error(message.str());
+  }
+  return value;
+}
+
+/// Node-id conversion guard: the double must be finite AND representable as
+/// long long — a finite 1e19 would make the static_cast itself UB.
+long long checked_id(const std::optional<double>& value, const char* what) {
+  // 2^63 exactly; doubles at or beyond this bound do not fit a long long.
+  constexpr double kIdBound = 9223372036854775808.0;
+  if (!value || !std::isfinite(*value) || *value >= kIdBound ||
+      *value < -kIdBound) {
+    throw std::runtime_error(std::string("GML: ") + what);
+  }
+  return static_cast<long long>(*value);
+}
+
 }  // namespace
 
 Graph parse_gml(const std::string& text, const GmlOptions& options) {
@@ -190,22 +219,25 @@ Graph parse_gml(const std::string& text, const GmlOptions& options) {
   // First pass: nodes (GML allows interleaving, so collect then wire edges).
   for (const auto& [kind, record] : blocks) {
     if (kind != "node") continue;
-    const auto gml_id = get_number(record, "id");
-    if (!gml_id) throw std::runtime_error("GML: node without id");
+    const auto id_key =
+        checked_id(get_number(record, "id"), "node without (numeric) id");
     const std::string label =
-        get_string(record, "label").value_or("n" + std::to_string(
-            static_cast<long long>(*gml_id)));
-    double x = get_number(record, "Longitude")
-                   .value_or(get_number(record, "x").value_or(0.0));
-    double y = get_number(record, "Latitude")
-                   .value_or(get_number(record, "y").value_or(0.0));
-    const double cost =
-        get_number(record, "cost").value_or(options.default_repair_cost);
+        get_string(record, "label").value_or("n" + std::to_string(id_key));
+    const double x = checked_number(
+        get_number(record, "Longitude")
+            .value_or(get_number(record, "x").value_or(0.0)),
+        "coordinate", "node", id_key, /*require_nonnegative=*/false);
+    const double y = checked_number(
+        get_number(record, "Latitude")
+            .value_or(get_number(record, "y").value_or(0.0)),
+        "coordinate", "node", id_key, /*require_nonnegative=*/false);
+    const double cost = checked_number(
+        get_number(record, "cost").value_or(options.default_repair_cost),
+        "cost", "node", id_key, /*require_nonnegative=*/true);
     const NodeId node = g.add_node(label, x, y, cost);
-    const auto key = static_cast<long long>(*gml_id);
-    if (!id_map.emplace(key, node).second) {
+    if (!id_map.emplace(id_key, node).second) {
       throw std::runtime_error("GML: duplicate node id " +
-                               std::to_string(key));
+                               std::to_string(id_key));
     }
     if (get_number(record, "broken").value_or(0.0) != 0.0) {
       g.node(node).broken = true;
@@ -213,25 +245,29 @@ Graph parse_gml(const std::string& text, const GmlOptions& options) {
   }
   for (const auto& [kind, record] : blocks) {
     if (kind != "edge") continue;
-    const auto source = get_number(record, "source");
-    const auto target = get_number(record, "target");
-    if (!source || !target) {
-      throw std::runtime_error("GML: edge without source/target");
-    }
-    const auto su = id_map.find(static_cast<long long>(*source));
-    const auto sv = id_map.find(static_cast<long long>(*target));
+    const auto source_key =
+        checked_id(get_number(record, "source"),
+                   "edge without (numeric) source/target");
+    const auto target_key =
+        checked_id(get_number(record, "target"),
+                   "edge without (numeric) source/target");
+    const auto su = id_map.find(source_key);
+    const auto sv = id_map.find(target_key);
     if (su == id_map.end() || sv == id_map.end()) {
       throw std::runtime_error("GML: edge references unknown node");
     }
     if (su->second == sv->second) continue;               // drop self-loops
     // Dedupe parallel edges.
     if (g.find_edge(su->second, sv->second) != kInvalidEdge) continue;
-    const double capacity =
+    const double capacity = checked_number(
         get_number(record, "capacity")
             .value_or(get_number(record, "LinkSpeed")
-                          .value_or(options.default_capacity));
-    const double cost =
-        get_number(record, "cost").value_or(options.default_repair_cost);
+                          .value_or(options.default_capacity)),
+        "capacity", "edge from node", source_key,
+        /*require_nonnegative=*/true);
+    const double cost = checked_number(
+        get_number(record, "cost").value_or(options.default_repair_cost),
+        "cost", "edge from node", source_key, /*require_nonnegative=*/true);
     const EdgeId edge = g.add_edge(su->second, sv->second, capacity, cost);
     if (get_number(record, "broken").value_or(0.0) != 0.0) {
       g.edge(edge).broken = true;

@@ -161,6 +161,35 @@ MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
       });
 }
 
+MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
+                       const std::vector<double>& edge_capacity,
+                       const std::vector<char>& node_ok) {
+  const Graph& g = view.graph();
+  g.check_node(source);
+  g.check_node(sink);
+  const bool endpoints_ok =
+      view.node_in_view(source) && view.node_in_view(sink) &&
+      node_ok[static_cast<std::size_t>(source)] &&
+      node_ok[static_cast<std::size_t>(sink)];
+  return run_max_flow(
+      g, source, sink, endpoints_ok,
+      [&](Dinic& net, std::vector<std::pair<int, double>>& arc_of_edge) {
+        for (std::size_t e = 0; e < g.num_edges(); ++e) {
+          const auto id = static_cast<EdgeId>(e);
+          if (!view.edge_in_view(id)) continue;
+          const Edge& edge = g.edge(id);
+          if (!node_ok[static_cast<std::size_t>(edge.u)] ||
+              !node_ok[static_cast<std::size_t>(edge.v)]) {
+            continue;
+          }
+          const double cap = edge_capacity[e];
+          if (cap <= kFlowEps) continue;
+          arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
+          net.add_undirected(edge.u, edge.v, cap, id);
+        }
+      });
+}
+
 // --- callback wrapper ------------------------------------------------------
 
 MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,

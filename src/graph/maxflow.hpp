@@ -42,6 +42,14 @@ MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink);
 MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
                        const std::vector<double>& edge_capacity);
 
+/// Further restricted to edges whose endpoints both have a nonzero entry in
+/// `node_ok` — ISP's bubble flows (Theorem 3) on a cached working view,
+/// where the bubble's node set changes per prune attempt but the view does
+/// not.  `node_ok` must have one entry per graph node.
+MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
+                       const std::vector<double>& edge_capacity,
+                       const std::vector<char>& node_ok);
+
 // --- callback wrapper (historical signature) -------------------------------
 
 /// Max flow from `source` to `sink`.  `capacity` supplies per-edge capacity

@@ -45,6 +45,32 @@ bool reachable(const GraphView& view, NodeId source, NodeId target) {
   return dist[static_cast<std::size_t>(target)] != -1;
 }
 
+bool reachable(const GraphView& view, NodeId source, NodeId target,
+               const std::vector<double>& edge_residual) {
+  constexpr double kResidualEps = 1e-9;
+  view.graph().check_node(source);
+  view.graph().check_node(target);
+  if (source == target) return true;
+  std::vector<char> seen(view.num_nodes(), 0);
+  seen[static_cast<std::size_t>(source)] = 1;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId at = queue.front();
+    queue.pop_front();
+    const ArcId end = view.arcs_end(at);
+    for (ArcId a = view.arcs_begin(at); a < end; ++a) {
+      const auto e = static_cast<std::size_t>(view.arc_edge(a));
+      if (edge_residual[e] <= kResidualEps) continue;
+      const NodeId next = view.arc_target(a);
+      if (seen[static_cast<std::size_t>(next)]) continue;
+      if (next == target) return true;
+      seen[static_cast<std::size_t>(next)] = 1;
+      queue.push_back(next);
+    }
+  }
+  return false;
+}
+
 std::vector<int> connected_components(const GraphView& view) {
   std::vector<int> label(view.num_nodes(), -1);
   int next_label = 0;

@@ -26,6 +26,12 @@ std::vector<int> bfs_hops(const GraphView& view, NodeId source);
 /// True iff `target` is reachable from `source` in the view.
 bool reachable(const GraphView& view, NodeId source, NodeId target);
 
+/// Reachability over arcs whose `edge_residual` entry (indexed by original
+/// edge id) is > 1e-9 — the positive-capacity precheck of route_demands on
+/// a cached view whose arcs may include drained edges.
+bool reachable(const GraphView& view, NodeId source, NodeId target,
+               const std::vector<double>& edge_residual);
+
 /// Component label per node (-1 for nodes outside the view); labels dense.
 std::vector<int> connected_components(const GraphView& view);
 

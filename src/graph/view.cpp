@@ -18,14 +18,14 @@ GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
   // Edge verdicts and weights, one callback evaluation per edge.  Weights
   // are consulted for edges passing the edge filter only (the callback
   // algorithms' contract); filtered edges keep 0.
-  std::vector<char> edge_pass(m, 1);
+  view.edge_pass_.assign(m, 1);
   view.edge_in_view_.assign(m, 0);
   view.edge_lengths_.assign(m, 0.0);
   view.edge_capacities_.assign(m, 0.0);
   for (std::size_t e = 0; e < m; ++e) {
     const auto id = static_cast<EdgeId>(e);
     if (config.edge_ok && !config.edge_ok(id)) {
-      edge_pass[e] = 0;
+      view.edge_pass_[e] = 0;
       continue;
     }
     const Edge& edge = g.edge(id);
@@ -43,7 +43,7 @@ GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
   // *head* endpoint passes (legacy traversal semantics; see header).
   view.offsets_.assign(n + 1, 0);
   for (std::size_t e = 0; e < m; ++e) {
-    if (!edge_pass[e]) continue;
+    if (!view.edge_pass_[e]) continue;
     const Edge& edge = g.edge(static_cast<EdgeId>(e));
     if (view.node_in_view_[static_cast<std::size_t>(edge.v)]) {
       ++view.offsets_[static_cast<std::size_t>(edge.u) + 1];
@@ -57,13 +57,14 @@ GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
   const std::size_t arcs = view.offsets_[n];
   view.arcs_.resize(arcs);
   view.arc_capacities_.resize(arcs);
+  view.edge_arcs_.assign(m, {kInvalidArc, kInvalidArc});
   // Fill per node in adjacency (insertion) order so arc order — and with it
   // every floating-point tie-break downstream — matches the callback path.
   std::vector<ArcId> cursor(view.offsets_.begin(), view.offsets_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
     const auto u = static_cast<NodeId>(i);
     for (EdgeId e : g.incident_edges(u)) {
-      if (!edge_pass[static_cast<std::size_t>(e)]) continue;
+      if (!view.edge_pass_[static_cast<std::size_t>(e)]) continue;
       const NodeId head = g.other_endpoint(e, u);
       if (!view.node_in_view_[static_cast<std::size_t>(head)]) continue;
       const ArcId a = cursor[i]++;
@@ -71,9 +72,22 @@ GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
                        view.edge_lengths_[static_cast<std::size_t>(e)]};
       view.arc_capacities_[a] =
           view.edge_capacities_[static_cast<std::size_t>(e)];
+      auto& slots = view.edge_arcs_[static_cast<std::size_t>(e)];
+      slots[slots[0] == kInvalidArc ? 0 : 1] = a;
     }
   }
   return view;
+}
+
+void GraphView::refresh_edge_metrics(EdgeId e, double length,
+                                     double capacity) {
+  edge_lengths_[static_cast<std::size_t>(e)] = length;
+  edge_capacities_[static_cast<std::size_t>(e)] = capacity;
+  for (ArcId a : edge_arcs_[static_cast<std::size_t>(e)]) {
+    if (a == kInvalidArc) continue;
+    arcs_[a].length = length;
+    arc_capacities_[a] = capacity;
+  }
 }
 
 GraphView GraphView::working(const Graph& g) {

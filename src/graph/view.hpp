@@ -23,19 +23,25 @@
 // bit-identical distances, parents, scores and flows.
 //
 // Immutability / invalidation contract:
-//   * A GraphView is immutable after build(); all accessors are const and
-//     safe to share across threads without synchronisation.
+//   * A GraphView is immutable through its public interface; all accessors
+//     are const and safe to share across threads without synchronisation.
+//     The one mutation path is graph::ViewCache (a friend), which may patch
+//     per-edge lengths/capacities in place between algorithm rounds — see
+//     view_cache.hpp for the refresh-vs-rebuild rules.
 //   * The view borrows the Graph (no copy).  Any mutation of the graph —
 //     add_node/add_edge, flipping broken flags, editing capacities — leaves
-//     the view dangling or semantically stale; rebuild it.  Views are cheap
-//     (one O(V+E) pass) and meant to be materialised once per algorithm
-//     round, not cached across rounds.
+//     the view dangling or semantically stale; rebuild it (or route the
+//     mutation through a ViewCache, which rebuilds or refreshes for you).
+//     Bare views are cheap (one O(V+E) pass) and meant to be materialised
+//     once per algorithm round.
 //   * Filter and weight callbacks are evaluated exactly once per element at
-//     build time and never retained, so temporaries may be passed freely.
+//     build time and never retained by the view itself, so temporaries may
+//     be passed freely (a ViewCache *does* retain its configs; see there).
 //     Weights are evaluated only for edges passing edge_ok, matching the
 //     callback algorithms' promise to consult weights on usable edges only.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +51,9 @@ namespace netrec::graph {
 
 /// Arc index into a GraphView's CSR arrays.
 using ArcId = std::uint32_t;
+
+/// Sentinel arc id ("edge contributes no arc in this direction").
+inline constexpr ArcId kInvalidArc = static_cast<ArcId>(-1);
 
 /// Build-time configuration: which elements are in the view and what the
 /// per-edge length / capacity metrics are.  Empty callbacks mean "accept
@@ -96,6 +105,13 @@ class GraphView {
   bool edge_in_view(EdgeId e) const {
     return edge_in_view_[static_cast<std::size_t>(e)] != 0;
   }
+  /// Raw edge-filter verdict alone (endpoint node filters not applied) —
+  /// exactly the predicate that decided the edge's arcs.  ViewCache compares
+  /// this against the live filter to tell weight refreshes from membership
+  /// flips.
+  bool edge_passes_filter(EdgeId e) const {
+    return edge_pass_[static_cast<std::size_t>(e)] != 0;
+  }
   double edge_length(EdgeId e) const {
     return edge_lengths_[static_cast<std::size_t>(e)];
   }
@@ -110,7 +126,15 @@ class GraphView {
   }
 
  private:
+  friend class ViewCache;
+
   GraphView() = default;
+
+  /// In-place metric patch for one edge (ViewCache refresh path): rewrites
+  /// the flat per-edge length/capacity entries and the (up to two) arc
+  /// records carrying the edge.  Must only be called for edges whose filter
+  /// verdict is unchanged — a membership flip needs a rebuild.
+  void refresh_edge_metrics(EdgeId e, double length, double capacity);
 
   struct ArcRec {
     NodeId to;
@@ -124,8 +148,13 @@ class GraphView {
   std::vector<double> arc_capacities_;  ///< edge capacity per arc
   std::vector<char> node_in_view_;   ///< node filter verdicts
   std::vector<char> edge_in_view_;   ///< edge usable with both endpoints
+  std::vector<char> edge_pass_;      ///< raw edge filter verdicts
   std::vector<double> edge_lengths_;    ///< per original edge id
   std::vector<double> edge_capacities_;  ///< per original edge id
+  /// Arc ids of each edge's (up to two) directed arcs, kInvalidArc when the
+  /// direction was dropped by the head-endpoint node filter.  Lets the
+  /// ViewCache refresh path patch arcs without scanning the CSR.
+  std::vector<std::array<ArcId, 2>> edge_arcs_;
 };
 
 }  // namespace netrec::graph

@@ -1,0 +1,125 @@
+#include "graph/view_cache.hpp"
+
+#include <stdexcept>
+
+namespace netrec::graph {
+
+ViewCache::ViewCache(const Graph& g) : g_(&g) {}
+
+ViewCache::SlotId ViewCache::add_config(std::string name, ViewConfig config) {
+  auto slot = std::make_unique<Slot>();
+  slot->name = std::move(name);
+  slot->config = std::move(config);
+  slot->rebuild = true;  // nothing built yet
+  slot->dirty_mark.assign(g_->num_edges(), 0);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+const GraphView& ViewCache::view(SlotId slot) {
+  if (slot >= slots_.size()) {
+    throw std::invalid_argument("ViewCache: slot id out of range");
+  }
+  sync(*slots_[slot]);
+  return slots_[slot]->view;
+}
+
+const GraphView& ViewCache::view(std::string_view name) {
+  for (auto& slot : slots_) {
+    if (slot->name == name) {
+      sync(*slot);
+      return slot->view;
+    }
+  }
+  std::string message = "ViewCache: unknown slot '";
+  message.append(name);
+  message += '\'';
+  throw std::invalid_argument(message);
+}
+
+void ViewCache::mark_edge(Slot& slot, EdgeId e) {
+  if (slot.rebuild) return;  // a rebuild re-evaluates everything anyway
+  // Edges may have been added to the graph (followed by bump_epoch) since
+  // add_config sized the bitmap; grow it in step.
+  if (static_cast<std::size_t>(e) >= slot.dirty_mark.size()) {
+    slot.dirty_mark.resize(g_->num_edges(), 0);
+  }
+  if (slot.dirty_mark[static_cast<std::size_t>(e)]) return;
+  slot.dirty_mark[static_cast<std::size_t>(e)] = 1;
+  slot.dirty.push_back(e);
+}
+
+void ViewCache::invalidate_edge(EdgeId e) {
+  g_->check_edge(e);
+  ++epoch_;
+  for (auto& slot : slots_) mark_edge(*slot, e);
+}
+
+void ViewCache::invalidate_node(NodeId n) {
+  g_->check_node(n);
+  ++epoch_;
+  for (auto& slot : slots_) {
+    if (slot->rebuild) continue;
+    if (slot->config.node_ok) {
+      // Node verdicts shape the CSR itself; be conservative.
+      slot->rebuild = true;
+      continue;
+    }
+    for (EdgeId e : g_->incident_edges(n)) mark_edge(*slot, e);
+  }
+}
+
+void ViewCache::bump_epoch() {
+  ++epoch_;
+  for (auto& slot : slots_) slot->rebuild = true;
+}
+
+void ViewCache::sync(Slot& slot) {
+  // A queued dirty edge whose live filter verdict differs from the built
+  // one changes arc membership: escalate to a rebuild.  So does an edge id
+  // beyond the built view's range (graph grew without a bump_epoch).
+  if (!slot.rebuild && !slot.dirty.empty()) {
+    for (EdgeId e : slot.dirty) {
+      if (static_cast<std::size_t>(e) >= slot.view.num_edges()) {
+        slot.rebuild = true;
+        break;
+      }
+      if (slot.config.edge_ok &&
+          slot.config.edge_ok(e) != slot.view.edge_passes_filter(e)) {
+        slot.rebuild = true;
+        break;
+      }
+    }
+  }
+
+  if (slot.rebuild) {
+    slot.view = GraphView::build(*g_, slot.config);
+    slot.built = true;
+    slot.rebuild = false;
+    ++stats_.builds;
+  } else if (!slot.dirty.empty()) {
+    for (EdgeId e : slot.dirty) {
+      // Edges outside the filter keep weight 0 (never evaluated), exactly
+      // as at build time.
+      if (!slot.view.edge_passes_filter(e)) continue;
+      const double length =
+          slot.config.length ? slot.config.length(e) : 1.0;
+      const double capacity =
+          slot.config.capacity ? slot.config.capacity(e) : g_->edge(e).capacity;
+      slot.view.refresh_edge_metrics(e, length, capacity);
+      ++stats_.refreshes;
+    }
+  } else {
+    ++stats_.hits;
+  }
+
+  if (!slot.dirty.empty()) {
+    for (EdgeId e : slot.dirty) {
+      slot.dirty_mark[static_cast<std::size_t>(e)] = 0;
+    }
+    slot.dirty.clear();
+  }
+  slot.synced_epoch = epoch_;
+}
+
+}  // namespace netrec::graph

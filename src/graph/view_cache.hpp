@@ -1,0 +1,126 @@
+// Mutation-aware GraphView reuse: an epoch-based cache of named view
+// configurations over one Graph.
+//
+// PR 2's GraphView made every traversal kernel run on flat CSR memory, but a
+// consumer that *mutates* shared state mid-algorithm (ISP's residual_ /
+// RepairState bookkeeping, the repair scheduler's emit loop) still had to
+// rebuild an O(V + E) snapshot per call through the view-materialising
+// wrappers.  ViewCache closes that gap: the consumer registers each view
+// configuration once, publishes its mutations through three explicit hooks,
+// and every view() call returns an up-to-date snapshot that was either
+// served unchanged (hit), patched edge-by-edge (refresh) or — only when a
+// filter verdict actually flipped — rebuilt from scratch.
+//
+// Invalidation contract (what mutations invalidate what):
+//   * invalidate_edge(e) — a property of edge e changed (residual capacity
+//     consumed, its broken flag repaired, a dynamic-metric input touched).
+//     The edge is queued dirty in every slot; on the slot's next view() the
+//     live edge filter is re-evaluated for e:
+//       - verdict unchanged  -> REFRESH: the length/capacity callbacks are
+//         re-evaluated for e and patched into the flat per-edge arrays and
+//         the (≤ 2) arc records in place — O(dirty) total, no allocation.
+//       - verdict flipped    -> REBUILD: e's arcs must appear or vanish, so
+//         the CSR layout is stale; one O(V + E) build.
+//     Residual-weight-only changes therefore stay refreshes for every slot
+//     whose filter ignores residuals, which is why ISP keeps the residual
+//     test *out* of its cached filters and in the algorithms' per-arc
+//     residual skip instead.
+//   * invalidate_node(n) — a property of node n changed (typically its
+//     broken flag repaired).  Equivalent to invalidate_edge on every edge
+//     incident to n (their filter verdicts and weights may all depend on
+//     n).  Slots with a node filter rebuild conservatively: node verdicts
+//     shape the CSR itself.
+//   * bump_epoch() — anything may have changed (topology edits, wholesale
+//     state swaps); every slot rebuilds on next use.
+//
+// Epochs: every published mutation advances epoch(); each slot records the
+// epoch it last synced to.  Consumers that hold derived data (not the view
+// itself) can compare epochs to decide staleness.
+//
+// Lifetime rules:
+//   * Unlike GraphView::build, the cache RETAINS the ViewConfig callbacks
+//     and re-evaluates them on every refresh/rebuild.  They must stay valid
+//     for the cache's lifetime and read the *live* mutable state (that is
+//     the point).
+//   * view() returns a reference that stays address-stable for the cache's
+//     lifetime, but its contents sync on each view() call; take a by-value
+//     GraphView copy if a frozen snapshot is needed across mutations.
+//   * Not thread-safe: one cache belongs to one solver loop.  The returned
+//     views are safe to read concurrently between mutations, like any
+//     GraphView.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/view.hpp"
+
+namespace netrec::graph {
+
+class ViewCache {
+ public:
+  /// Handle to a registered configuration (dense, starts at 0).
+  using SlotId = std::size_t;
+
+  explicit ViewCache(const Graph& g);
+
+  /// Registers a named configuration; the callbacks are retained (see
+  /// header).  Building is lazy — a slot that is never viewed never pays.
+  SlotId add_config(std::string name, ViewConfig config);
+
+  /// The up-to-date view of a slot: synchronises (hit / refresh / rebuild)
+  /// and returns an address-stable reference.
+  const GraphView& view(SlotId slot);
+
+  /// Name-based lookup (linear in the slot count; prefer SlotId in loops).
+  /// Throws std::invalid_argument for unknown names.
+  const GraphView& view(std::string_view name);
+
+  // --- mutation hooks ------------------------------------------------------
+
+  void invalidate_edge(EdgeId e);
+  void invalidate_node(NodeId n);
+  void bump_epoch();
+
+  /// Monotone counter of published mutations.
+  std::uint64_t epoch() const { return epoch_; }
+
+  std::size_t num_slots() const { return slots_.size(); }
+  const std::string& slot_name(SlotId slot) const {
+    return slots_[slot]->name;
+  }
+
+  /// Cache effectiveness counters (cumulative).
+  struct Stats {
+    std::size_t builds = 0;     ///< full O(V+E) view (re)builds
+    std::size_t refreshes = 0;  ///< edges patched in place
+    std::size_t hits = 0;       ///< view() calls served with no work
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::string name;
+    ViewConfig config;
+    GraphView view;          ///< empty until first sync
+    bool built = false;
+    bool rebuild = false;    ///< a filter verdict (possibly) flipped
+    std::vector<EdgeId> dirty;      ///< queued edges, deduplicated
+    std::vector<char> dirty_mark;   ///< membership bitmap for `dirty`
+    std::uint64_t synced_epoch = 0;
+  };
+
+  void mark_edge(Slot& slot, EdgeId e);
+  void sync(Slot& slot);
+
+  const Graph* g_;
+  /// unique_ptr for address stability of the contained GraphViews.
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace netrec::graph

@@ -5,6 +5,7 @@
 
 #include "core/repair_state.hpp"
 #include "graph/dijkstra.hpp"
+#include "graph/view_cache.hpp"
 #include "mcf/routing.hpp"
 
 namespace netrec::heuristics {
@@ -62,18 +63,6 @@ RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
   core::RepairState scheduled(g);
   std::size_t remaining = solution.total_repairs();
 
-  const auto cap = mcf::static_capacity(g);
-  auto scheduled_filter = [&](graph::EdgeId e) { return scheduled.edge_ok(e); };
-  auto restored_now = [&]() {
-    if (options.exact_scoring) {
-      return mcf::max_routed_flow(g, problem.demands, scheduled_filter, cap,
-                                  options.lp)
-          .total_routed;
-    }
-    return mcf::greedy_route(g, problem.demands, scheduled_filter, cap)
-        .total_routed;
-  };
-
   // Elements of the final (solution) subgraph: working plus the repair set.
   auto node_available = [&](graph::NodeId n) {
     return !g.node(n).broken || node_in_set[static_cast<std::size_t>(n)];
@@ -92,6 +81,36 @@ RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
     if (g.node(edge.u).broken && !scheduled.node_repaired(edge.u)) w += 0.5;
     if (g.node(edge.v).broken && !scheduled.node_repaired(edge.v)) w += 0.5;
     return w;
+  };
+
+  // Two cached snapshots survive the whole schedule instead of one build
+  // per greedy/dijkstra call.  `available` has a schedule-independent
+  // filter, so every emit is a pending-length *refresh* of the repaired
+  // element's incident arcs; `scheduled` membership grows with each emit
+  // and rebuilds — both driven by the RepairState publishing into the
+  // cache.
+  graph::ViewCache cache(g);
+  graph::ViewConfig available_config;
+  available_config.edge_ok = edge_available;
+  available_config.length = pending_length;
+  const auto available_slot =
+      cache.add_config("available", std::move(available_config));
+  graph::ViewConfig scheduled_config;
+  scheduled_config.edge_ok = [&](graph::EdgeId e) {
+    return scheduled.edge_ok(e);
+  };
+  const auto scheduled_slot =
+      cache.add_config("scheduled", std::move(scheduled_config));
+  scheduled.publish_to(&cache);
+
+  auto restored_now = [&]() {
+    if (options.exact_scoring) {
+      return mcf::max_routed_flow(cache.view(scheduled_slot),
+                                  problem.demands, options.lp)
+          .total_routed;
+    }
+    return mcf::greedy_route(cache.view(scheduled_slot), problem.demands)
+        .total_routed;
   };
 
   auto emit = [&](bool is_node, graph::NodeId n, graph::EdgeId e) {
@@ -113,17 +132,17 @@ RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
   std::size_t guard = 0;
   while (remaining > 0 && guard++ < solution.total_repairs() + 8) {
     const auto routed =
-        mcf::greedy_route(g, problem.demands, scheduled_filter, cap);
+        mcf::greedy_route(cache.view(scheduled_slot), problem.demands);
     // Pick the most valuable unsatisfied demand per unit of pending work.
     int best_demand = -1;
     double best_ratio = -1.0;
     graph::Path best_path;
+    const graph::GraphView& available = cache.view(available_slot);
     for (std::size_t h = 0; h < problem.demands.size(); ++h) {
       const auto& d = problem.demands[h];
       const double deficit = d.amount - routed.routed[h];
       if (deficit <= 1e-9 || d.source == d.target) continue;
-      auto path = graph::shortest_path(g, d.source, d.target, pending_length,
-                                       edge_available);
+      auto path = graph::shortest_path(available, d.source, d.target);
       if (!path) continue;
       const double pending = path->length(pending_length);
       const double ratio = deficit / (1.0 + pending);
@@ -179,7 +198,7 @@ RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
   // agrees with the solution's referee satisfaction.
   if (!schedule.steps.empty()) {
     schedule.steps.back().restored_after =
-        mcf::max_routed_flow(g, problem.demands, scheduled_filter, cap,
+        mcf::max_routed_flow(cache.view(scheduled_slot), problem.demands,
                              options.lp)
             .total_routed;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/dijkstra.hpp"
@@ -24,6 +25,13 @@ PathLp::PathLp(const graph::Graph& g, std::vector<Demand> demands,
       user_demands_(std::move(demands)),
       edge_ok_(std::move(edge_ok)),
       capacity_(std::move(capacity)),
+      opt_(options) {}
+
+PathLp::PathLp(const graph::GraphView& view, std::vector<Demand> demands,
+               PathLpOptions options)
+    : g_(view.graph()),
+      user_demands_(std::move(demands)),
+      borrowed_view_(&view),
       opt_(options) {}
 
 void PathLp::set_max_routed() {
@@ -73,6 +81,32 @@ PathLpResult PathLp::solve() {
     demands.push_back(Demand{split_via_, h.target, h.amount});
   }
   const int n_demands = static_cast<int>(demands.size());
+
+  // CSR snapshot of the routable network for this solve: seeding and every
+  // pricing round run Dijkstra on it with flat per-edge arrays instead of
+  // std::function callbacks.  Borrowed-view mode reuses the caller's
+  // (typically ViewCache-owned) snapshot; otherwise one is built here.
+  // Default view lengths are the hop metric the seeds use; pricing passes
+  // its own per-round length array.
+  std::optional<graph::GraphView> owned_view;
+  if (!borrowed_view_) {
+    graph::ViewConfig view_config;
+    view_config.edge_ok = edge_ok_;
+    view_config.capacity = capacity_;
+    owned_view = graph::GraphView::build(g_, view_config);
+  }
+  const graph::GraphView& view =
+      borrowed_view_ ? *borrowed_view_ : *owned_view;
+  // An edge is in the routable network iff it is in the view and — in
+  // borrowed mode, whose cached arcs keep drained edges — carries positive
+  // capacity.  An owned view's filter already encoded the caller's network.
+  auto edge_usable = [&](graph::EdgeId id) {
+    if (!view.edge_in_view(id)) return false;
+    return borrowed_view_ == nullptr || view.edge_capacity(id) > kEps;
+  };
+  auto edge_cap = [&](graph::EdgeId id) {
+    return borrowed_view_ ? view.edge_capacity(id) : capacity_(id);
+  };
 
   // --- master model ------------------------------------------------------
   lp::Model model;
@@ -130,12 +164,12 @@ PathLpResult PathLp::solve() {
   std::vector<int> capacity_row(g_.num_edges(), -1);
   auto add_capacity_row = [&](graph::EdgeId e) {
     capacity_row[static_cast<std::size_t>(e)] =
-        model.add_constraint(lp::Sense::kLessEqual, capacity_(e));
+        model.add_constraint(lp::Sense::kLessEqual, edge_cap(e));
   };
   if (eager) {
     for (std::size_t e = 0; e < g_.num_edges(); ++e) {
       const auto id = static_cast<graph::EdgeId>(e);
-      if (!edge_ok_ || edge_ok_(id)) add_capacity_row(id);
+      if (edge_usable(id)) add_capacity_row(id);
     }
   }
 
@@ -168,16 +202,9 @@ PathLpResult PathLp::solve() {
     columns.push_back(std::move(info));
   };
 
-  // CSR snapshot of the routable network for this solve: seeding and every
-  // pricing round run Dijkstra on it with flat per-edge arrays instead of
-  // std::function callbacks.  Default view lengths are the hop metric the
-  // seeds use; pricing passes its own per-round length array.
-  graph::ViewConfig view_config;
-  view_config.edge_ok = edge_ok_;
-  view_config.capacity = capacity_;
-  const graph::GraphView view = graph::GraphView::build(g_, view_config);
-
   // Seed columns: a few successive shortest (by hops) paths per demand.
+  // (successive_shortest_paths tracks residuals from the view capacities,
+  // so drained arcs of a borrowed view are skipped from the first path.)
   for (int h = 0; h < n_demands; ++h) {
     const Demand& d = demands[static_cast<std::size_t>(h)];
     if (d.source == d.target || d.amount <= kEps) continue;
@@ -214,7 +241,7 @@ PathLpResult PathLp::solve() {
       for (std::size_t e = 0; e < g_.num_edges(); ++e) {
         const auto id = static_cast<graph::EdgeId>(e);
         if (capacity_row[e] >= 0) continue;
-        if (load[e] > capacity_(id) + opt_.tolerance) {
+        if (load[e] > edge_cap(id) + opt_.tolerance) {
           add_capacity_row(id);
           for (const ColumnInfo& col : columns) {
             for (graph::EdgeId pe : col.path.edges) {
@@ -241,7 +268,7 @@ PathLpResult PathLp::solve() {
     std::vector<double> edge_weight(g_.num_edges(), 0.0);
     for (std::size_t e = 0; e < g_.num_edges(); ++e) {
       const auto id = static_cast<graph::EdgeId>(e);
-      if (!view.edge_in_view(id)) continue;
+      if (!edge_usable(id)) continue;
       double w = 0.0;
       const int row = capacity_row[e];
       if (row >= 0) w -= lp_solution.duals[static_cast<std::size_t>(row)];
@@ -268,7 +295,11 @@ PathLpResult PathLp::solve() {
           (mode_ == PathLpMode::kMaxRouted ? 1.0 + y_h : y_h) -
           opt_.tolerance * 10.0;
       if (threshold <= 0.0) continue;  // no path can improve
-      auto tree = graph::dijkstra(view, d.source, edge_weight);
+      // Borrowed views skip drained arcs (a filter-built view omits them).
+      auto tree = borrowed_view_
+                      ? graph::dijkstra(view, d.source, edge_weight,
+                                        view.edge_capacities())
+                      : graph::dijkstra(view, d.source, edge_weight);
       if (!tree.reached(d.target)) continue;
       if (tree.distance[static_cast<std::size_t>(d.target)] < threshold) {
         auto path = tree.path_to(g_, d.target);

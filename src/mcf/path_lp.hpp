@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "mcf/types.hpp"
 
 namespace netrec::mcf {
@@ -77,6 +78,17 @@ class PathLp {
          graph::EdgeFilter edge_ok, graph::EdgeWeight capacity,
          PathLpOptions options = {});
 
+  /// Borrowed-view mode: seeds, capacity rows and pricing all run on `view`
+  /// (not owned; must outlive solve()) instead of materialising a snapshot.
+  /// The routable network is the view's edges with capacity > 1e-9 — cached
+  /// views keep drained edges as arcs and this constructor's solve path
+  /// skips them exactly where a filter-built view would omit them, so the
+  /// two constructions price and route bit-identically.  The view's lengths
+  /// must be the unit/hop metric (the callback constructor never configures
+  /// lengths).
+  PathLp(const graph::GraphView& view, std::vector<Demand> demands,
+         PathLpOptions options = {});
+
   /// Configures the objective; call exactly one before solve().
   void set_max_routed();
   void set_min_cost(graph::EdgeWeight objective_edge_cost);
@@ -98,6 +110,7 @@ class PathLp {
   std::vector<Demand> user_demands_;
   graph::EdgeFilter edge_ok_;
   graph::EdgeWeight capacity_;
+  const graph::GraphView* borrowed_view_ = nullptr;
   PathLpOptions opt_;
 
   PathLpMode mode_ = PathLpMode::kMaxRouted;

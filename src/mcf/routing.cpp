@@ -17,19 +17,14 @@ graph::EdgeWeight static_capacity(const graph::Graph& g) {
   return [&g](graph::EdgeId e) { return g.edge(e).capacity; };
 }
 
-RoutingResult greedy_route(const graph::Graph& g,
-                           const std::vector<Demand>& demands,
-                           const graph::EdgeFilter& edge_ok,
-                           const graph::EdgeWeight& capacity) {
+RoutingResult greedy_route(const graph::GraphView& view,
+                           const std::vector<Demand>& demands) {
+  const graph::Graph& g = view.graph();
   RoutingResult result;
   result.routed.assign(demands.size(), 0.0);
 
-  // One CSR snapshot for the whole greedy pass: hop lengths, the caller's
+  // One CSR snapshot for the whole greedy pass: hop lengths, the view's
   // capacities, usability narrowed per iteration by the residual array.
-  graph::ViewConfig config;
-  config.edge_ok = edge_ok;
-  config.capacity = capacity;
-  const graph::GraphView view = graph::GraphView::build(g, config);
   std::vector<double> residual = view.edge_capacities();
   auto residual_view = [&](graph::EdgeId e) {
     return residual[static_cast<std::size_t>(e)];
@@ -73,6 +68,51 @@ RoutingResult greedy_route(const graph::Graph& g,
   result.fully_routed =
       result.total_routed >= total_demand(demands) - 1e-6;
   return result;
+}
+
+RoutingResult greedy_route(const graph::Graph& g,
+                           const std::vector<Demand>& demands,
+                           const graph::EdgeFilter& edge_ok,
+                           const graph::EdgeWeight& capacity) {
+  graph::ViewConfig config;
+  config.edge_ok = edge_ok;
+  config.capacity = capacity;
+  return greedy_route(graph::GraphView::build(g, config), demands);
+}
+
+RoutingResult max_routed_flow(const graph::GraphView& view,
+                              const std::vector<Demand>& demands,
+                              const PathLpOptions& options) {
+  PathLp lp(view, demands, options);
+  lp.set_max_routed();
+  PathLpResult r = lp.solve();
+  return std::move(r.routing);
+}
+
+RoutingResult route_demands(const graph::GraphView& view,
+                            const std::vector<Demand>& demands,
+                            const PathLpOptions& options) {
+  // Necessary condition, fast: endpoints connected over positive-residual
+  // arcs of the borrowed view.
+  for (const Demand& d : demands) {
+    if (d.amount <= kEps || d.source == d.target) continue;
+    if (!graph::reachable(view, d.source, d.target,
+                          view.edge_capacities())) {
+      RoutingResult result;
+      result.routed.assign(demands.size(), 0.0);
+      result.fully_routed = false;
+      return result;
+    }
+  }
+  RoutingResult greedy = greedy_route(view, demands);
+  if (greedy.fully_routed) return greedy;
+  return max_routed_flow(view, demands, options);
+}
+
+bool is_routable(const graph::GraphView& view,
+                 const std::vector<Demand>& demands,
+                 const PathLpOptions& options) {
+  return route_demands(view, demands, options).fully_routed;
 }
 
 RoutingResult max_routed_flow(const graph::Graph& g,

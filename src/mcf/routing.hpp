@@ -10,10 +10,43 @@
 #pragma once
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "mcf/path_lp.hpp"
 #include "mcf/types.hpp"
 
 namespace netrec::mcf {
+
+// --- view-based (hot path) ---------------------------------------------------
+//
+// These overloads run on a borrowed (typically ViewCache-owned) snapshot
+// instead of materialising one per call.  The routable network is the
+// view's edges with capacity > 1e-9 — views cached across residual updates
+// keep drained edges as arcs, and every algorithm below skips them exactly
+// where the callback path's filter excluded them, so results are
+// bit-identical.  The view's lengths must be the unit/hop metric (the
+// callback entry points never configure lengths).
+
+/// Greedy sufficient check on a borrowed view; initial residuals are the
+/// view's capacities.
+RoutingResult greedy_route(const graph::GraphView& view,
+                           const std::vector<Demand>& demands);
+
+/// Exact maximum total routed flow (PathLp on the borrowed view).
+RoutingResult max_routed_flow(const graph::GraphView& view,
+                              const std::vector<Demand>& demands,
+                              const PathLpOptions& options = {});
+
+/// Routability with witness: reachability precheck, greedy, exact fallback.
+RoutingResult route_demands(const graph::GraphView& view,
+                            const std::vector<Demand>& demands,
+                            const PathLpOptions& options = {});
+
+/// The paper's routability test (eq. 2) on a borrowed view.
+bool is_routable(const graph::GraphView& view,
+                 const std::vector<Demand>& demands,
+                 const PathLpOptions& options = {});
+
+// --- callback entry points (materialise a view per call) ---------------------
 
 /// Greedy sufficient check: routes demands one by one (largest first) with
 /// successive shortest paths on residual capacities.  fully_routed == true

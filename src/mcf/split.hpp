@@ -7,6 +7,7 @@
 #pragma once
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "mcf/path_lp.hpp"
 #include "mcf/types.hpp"
 
@@ -20,6 +21,14 @@ double max_splittable_amount(const graph::Graph& g,
                              int split_index, graph::NodeId via,
                              const graph::EdgeFilter& edge_ok,
                              const graph::EdgeWeight& capacity,
+                             const PathLpOptions& options = {});
+
+/// Same LP on a borrowed (typically ViewCache-owned) snapshot; the routable
+/// network is the view's edges with positive capacity (see PathLp's
+/// borrowed-view constructor).
+double max_splittable_amount(const graph::GraphView& view,
+                             const std::vector<Demand>& demands,
+                             int split_index, graph::NodeId via,
                              const PathLpOptions& options = {});
 
 }  // namespace netrec::mcf

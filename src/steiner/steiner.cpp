@@ -7,6 +7,7 @@
 #include <queue>
 #include <set>
 
+#include "graph/view.hpp"
 #include "util/log.hpp"
 
 namespace netrec::steiner {
@@ -48,11 +49,25 @@ struct DwTable {
 
 /// Builds the full DW table over all terminals.  Path costs count edge costs
 /// plus the node cost of every path node (so trees price nodes exactly once).
+///
+/// The 2^t grow passes historically paid an edge_ok/edge_cost std::function
+/// call per relaxation; one CSR snapshot (filter + edge costs flattened) and
+/// a flat node-cost array now serve every mask — the same amortisation the
+/// ISP loop gets from its ViewCache, without mutations to invalidate over.
 DwTable build_table(const graph::Graph& g,
                     const std::vector<graph::NodeId>& terminals,
                     const graph::EdgeWeight& edge_cost,
                     const NodeCost& node_cost,
                     const graph::EdgeFilter& edge_ok) {
+  graph::ViewConfig view_config;
+  view_config.edge_ok = edge_ok;
+  view_config.length = edge_cost;
+  const graph::GraphView view = graph::GraphView::build(g, view_config);
+  std::vector<double> flat_node_cost(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    flat_node_cost[v] = node_cost(static_cast<graph::NodeId>(v));
+  }
+
   DwTable table;
   table.n = static_cast<int>(g.num_nodes());
   table.t = static_cast<int>(terminals.size());
@@ -65,7 +80,8 @@ DwTable build_table(const graph::Graph& g,
   for (int i = 0; i < table.t; ++i) {
     const int mask = 1 << i;
     table.at(mask, terminals[static_cast<std::size_t>(i)]) =
-        node_cost(terminals[static_cast<std::size_t>(i)]);
+        flat_node_cost[static_cast<std::size_t>(
+            terminals[static_cast<std::size_t>(i)])];
     table.step_at(mask, terminals[static_cast<std::size_t>(i)]).choice =
         DwTable::Choice::kRoot;
   }
@@ -79,7 +95,8 @@ DwTable build_table(const graph::Graph& g,
         const double a = table.get(sub, v);
         const double b = table.get(mask ^ sub, v);
         if (a >= kInf || b >= kInf) continue;
-        const double cost = a + b - node_cost(static_cast<graph::NodeId>(v));
+        const double cost =
+            a + b - flat_node_cost[static_cast<std::size_t>(v)];
         if (cost < table.at(mask, v)) {
           table.at(mask, v) = cost;
           table.step_at(mask, v) = {DwTable::Choice::kMerge, sub};
@@ -87,7 +104,7 @@ DwTable build_table(const graph::Graph& g,
       }
     }
     // Grow step: extend the anchor along shortest paths (multi-source
-    // Dijkstra seeded with the current dp row).
+    // Dijkstra seeded with the current dp row) over the flat CSR arcs.
     std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
     for (int v = 0; v < table.n; ++v) {
       if (table.get(mask, v) < kInf) {
@@ -98,14 +115,16 @@ DwTable build_table(const graph::Graph& g,
       const auto [dist, at] = heap.top();
       heap.pop();
       if (dist > table.get(mask, at)) continue;
-      for (graph::EdgeId e : g.incident_edges(at)) {
-        if (edge_ok && !edge_ok(e)) continue;
-        const graph::NodeId to = g.other_endpoint(e, at);
-        const double candidate = dist + edge_cost(e) + node_cost(to);
+      const graph::ArcId end = view.arcs_end(at);
+      for (graph::ArcId a = view.arcs_begin(at); a < end; ++a) {
+        const graph::NodeId to = view.arc_target(a);
+        const double candidate =
+            dist + view.arc_length(a) +
+            flat_node_cost[static_cast<std::size_t>(to)];
         if (candidate < table.at(mask, to)) {
           table.at(mask, to) = candidate;
           table.step_at(mask, to) = {DwTable::Choice::kGrow,
-                                     static_cast<int>(e)};
+                                     static_cast<int>(view.arc_edge(a))};
           heap.emplace(candidate, to);
         }
       }

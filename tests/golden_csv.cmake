@@ -1,0 +1,73 @@
+# Figure-driver determinism golden test (ctest target `golden_csv`).
+#
+# Runs fig3 and fig7 at a fixed seed with small, CI-sized parameters and
+# byte-compares the emitted CSVs against the goldens committed under
+# tests/golden/.  This promotes the CI determinism smoke into something a
+# developer runs locally with plain ctest: any change to ISP, the LP stack,
+# the scenario engine or the RNG seeding that shifts a repair count by one
+# fails here before it reaches review.
+#
+# Notes on the pinned flags:
+#   * fig3 runs with --opt-seconds 0 so OPT uses its deterministic fallback
+#     instead of a wall-clock-budgeted MILP;
+#   * fig7 compares only the repairs series — its time series measures real
+#     wall clock and is inherently machine-dependent;
+#   * --threads values are part of the determinism claim: a fixed seed must
+#     give identical CSVs at any thread count.
+#
+# Invoked as:
+#   cmake -DFIG3=<bench_fig3 binary> -DFIG7=<bench_fig7 binary>
+#         -DGOLDEN_DIR=<repo>/tests/golden -DWORK_DIR=<scratch>
+#         -P golden_csv.cmake
+#
+# Regenerating goldens after an *intentional* behaviour change:
+#   <build>/bench_fig3_multicommodity --runs 2 --flows 4,8 --samples 3 \
+#     --opt-seconds 0 --threads 2 --csv tests/golden/fig3
+#   <build>/bench_fig7_er_scalability --runs 1 --probabilities 0.1,0.3 \
+#     --threads 1 --csv tests/golden/fig7
+#   (then delete the regenerated fig7.time.csv; only repairs is golden)
+
+foreach(var FIG3 FIG7 GOLDEN_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_csv: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${FIG3}" --runs 2 --flows 4,8 --samples 3 --opt-seconds 0
+          --threads 2 --csv "${WORK_DIR}/fig3"
+  RESULT_VARIABLE fig3_status
+  OUTPUT_QUIET)
+if(NOT fig3_status EQUAL 0)
+  message(FATAL_ERROR "golden_csv: fig3 driver failed (${fig3_status})")
+endif()
+
+execute_process(
+  COMMAND "${FIG7}" --runs 1 --probabilities 0.1,0.3 --threads 1
+          --csv "${WORK_DIR}/fig7"
+  RESULT_VARIABLE fig7_status
+  OUTPUT_QUIET)
+if(NOT fig7_status EQUAL 0)
+  message(FATAL_ERROR "golden_csv: fig7 driver failed (${fig7_status})")
+endif()
+
+foreach(pair "fig3.csv" "fig7.repairs.csv")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/${pair}" "${GOLDEN_DIR}/${pair}"
+    RESULT_VARIABLE diff_status)
+  if(NOT diff_status EQUAL 0)
+    file(READ "${WORK_DIR}/${pair}" actual)
+    file(READ "${GOLDEN_DIR}/${pair}" expected)
+    message(FATAL_ERROR
+      "golden_csv: ${pair} diverged from the committed golden.\n"
+      "--- expected (${GOLDEN_DIR}/${pair}):\n${expected}\n"
+      "--- actual (${WORK_DIR}/${pair}):\n${actual}\n"
+      "If the change is intentional, regenerate the goldens (see the header "
+      "of tests/golden_csv.cmake).")
+  endif()
+endforeach()
+
+message(STATUS "golden_csv: fig3.csv and fig7.repairs.csv match the goldens")

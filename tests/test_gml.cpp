@@ -1,0 +1,133 @@
+// GML loader edge-case hardening (the PR-2 add_node/add_edge guard style
+// extended to the parser): truncated input, duplicate ids, and
+// negative/NaN/infinite numeric attributes must raise clean exceptions
+// instead of leaking garbage values into the algorithms as UB fuel.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/gml.hpp"
+
+namespace {
+
+using namespace netrec;
+
+std::string node(int id, const std::string& extra = {}) {
+  return "node [ id " + std::to_string(id) + " " + extra + " ]\n";
+}
+
+std::string wrap(const std::string& body) { return "graph [\n" + body + "]"; }
+
+TEST(GmlEdgeCases, TruncatedInputsThrowCleanly) {
+  // Every prefix of a valid document must fail loudly, never crash or
+  // return a half-parsed graph.
+  const std::string full = wrap(node(0) + node(1) +
+                                "edge [ source 0 target 1 capacity 3 ]\n");
+  EXPECT_NO_THROW(graph::parse_gml(full));
+  for (std::size_t cut = 7; cut + 1 < full.size(); cut += 5) {
+    EXPECT_THROW(graph::parse_gml(full.substr(0, cut)), std::runtime_error)
+        << "prefix of length " << cut << " parsed without error";
+  }
+  EXPECT_THROW(graph::parse_gml(""), std::runtime_error);
+  EXPECT_THROW(graph::parse_gml("graph ["), std::runtime_error);
+  EXPECT_THROW(graph::parse_gml("graph [ node [ id"), std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap("node [ label \"unterminated ]")),
+               std::runtime_error);
+}
+
+TEST(GmlEdgeCases, TruncatedFileThrowsCleanly) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netrec_gml_truncated.gml")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "graph [ node [ id 0 ] node [ id";
+  }
+  EXPECT_THROW(graph::load_gml_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GmlEdgeCases, DuplicateNodeIdsThrow) {
+  EXPECT_THROW(graph::parse_gml(wrap(node(3) + node(3))), std::runtime_error);
+  // Distinct ids stay fine, including negative ones.
+  const graph::Graph g = graph::parse_gml(wrap(node(-1) + node(3)));
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(GmlEdgeCases, IdsBeyondLongLongRangeThrow) {
+  // Finite but not representable as long long: the cast itself would be UB.
+  EXPECT_THROW(graph::parse_gml(wrap("node [ id 1e19 ]\n")),
+               std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap("node [ id -1e19 ]\n")),
+               std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap(node(0) + node(1) +
+                                     "edge [ source 1e19 target 1 ]\n")),
+               std::runtime_error);
+}
+
+TEST(GmlEdgeCases, MissingOrNonNumericIdsThrow) {
+  EXPECT_THROW(graph::parse_gml(wrap("node [ label \"x\" ]\n")),
+               std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap(node(0) + node(1) +
+                                     "edge [ source 0 ]\n")),
+               std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap(node(0) + node(1) +
+                                     "edge [ source 0 target 7 ]\n")),
+               std::runtime_error);
+}
+
+TEST(GmlEdgeCases, NegativeCapacityThrows) {
+  EXPECT_THROW(
+      graph::parse_gml(wrap(node(0) + node(1) +
+                            "edge [ source 0 target 1 capacity -4 ]\n")),
+      std::runtime_error);
+}
+
+TEST(GmlEdgeCases, NanAndInfCapacityThrow) {
+  // `nan`/`inf` lex as identifiers, quoted forms go through std::stod —
+  // both historically produced a NaN-capacity edge silently.
+  for (const char* bad : {"nan", "inf", "-inf", "\"nan\"", "\"inf\""}) {
+    const std::string text =
+        wrap(node(0) + node(1) + "edge [ source 0 target 1 capacity " +
+             std::string(bad) + " ]\n");
+    EXPECT_THROW(graph::parse_gml(text), std::runtime_error)
+        << "capacity " << bad << " accepted";
+  }
+}
+
+TEST(GmlEdgeCases, InvalidCostsAndCoordinatesThrow) {
+  EXPECT_THROW(graph::parse_gml(wrap(node(0, "cost -2"))),
+               std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap(node(0, "cost nan"))),
+               std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap(node(0, "x nan"))), std::runtime_error);
+  EXPECT_THROW(graph::parse_gml(wrap(node(0, "Longitude inf"))),
+               std::runtime_error);
+  EXPECT_THROW(
+      graph::parse_gml(wrap(node(0) + node(1) +
+                            "edge [ source 0 target 1 cost nan ]\n")),
+      std::runtime_error);
+  // Negative coordinates are legitimate (longitudes/latitudes).
+  const graph::Graph g =
+      graph::parse_gml(wrap(node(0, "x -71.06 y 42.35")));
+  EXPECT_DOUBLE_EQ(g.node(0).x, -71.06);
+  EXPECT_DOUBLE_EQ(g.node(0).y, 42.35);
+}
+
+TEST(GmlEdgeCases, ValidAttributesStillLoad) {
+  const graph::Graph g = graph::parse_gml(
+      wrap(node(0, "cost 2.5") + node(1) +
+           "edge [ source 0 target 1 capacity 7.25 cost 0 ]\n"));
+  EXPECT_EQ(g.num_nodes(), 2u);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).capacity, 7.25);
+  EXPECT_DOUBLE_EQ(g.edge(0).repair_cost, 0.0);
+  EXPECT_DOUBLE_EQ(g.node(0).repair_cost, 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// ISP differential harness: the ViewCache-backed engine must be
+// bit-identical to the graph::legacy-backed reference across seeded broken
+// scenarios and every option combination — repair sequences (order
+// included), traced event streams (prune/split amounts, i.e. the flows the
+// engine committed), referee routing and objective values, all compared
+// with exact equality.  This is the executable form of the cache's
+// invalidation audit: any stale view, missed invalidation or over-eager
+// rebuild shows up as a diverging action sequence.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/isp.hpp"
+#include "core/problem.hpp"
+#include "disruption/disruption.hpp"
+#include "graph/traversal.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netrec;
+
+/// Broken connected-ish ER instance with far-apart demands.
+core::RecoveryProblem er_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 104729 + 13);
+  core::RecoveryProblem p;
+  topology::ErdosRenyiOptions eopt;
+  eopt.nodes = 24;
+  eopt.edge_probability = 0.18;
+  eopt.capacity = 10.0;
+  std::size_t attempts = 0;
+  do {
+    p.graph = topology::erdos_renyi(eopt, rng);
+  } while (graph::hop_diameter(p.graph) < 0 && ++attempts < 50);
+  util::Rng demand_rng = rng.fork();
+  p.demands = scenario::far_apart_demands(p.graph, 3, 4.0, demand_rng);
+  // Heavy but not complete destruction, so prune bubbles exist.
+  for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+    if (rng.chance(0.55)) {
+      p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+    }
+  }
+  for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
+    if (rng.chance(0.6)) {
+      p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+    }
+  }
+  return p;
+}
+
+/// Bell-Canada under regional or complete destruction.
+core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 7907 + 5);
+  core::RecoveryProblem p;
+  p.graph = topology::bell_canada_like();
+  util::Rng demand_rng = rng.fork();
+  p.demands = scenario::far_apart_demands(p.graph, 4, 3.0, demand_rng);
+  if (seed % 2 == 0) {
+    disruption::complete_destruction(p.graph);
+  } else {
+    for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+      if (rng.chance(0.5)) {
+        p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+      }
+    }
+    for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
+      if (rng.chance(0.5)) {
+        p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+      }
+    }
+  }
+  return p;
+}
+
+void expect_same_events(const std::vector<core::IspEvent>& cached,
+                        const std::vector<core::IspEvent>& reference) {
+  ASSERT_EQ(cached.size(), reference.size()) << "event counts diverge";
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].kind, reference[i].kind) << "event " << i;
+    EXPECT_EQ(cached[i].demand, reference[i].demand) << "event " << i;
+    EXPECT_EQ(cached[i].node, reference[i].node) << "event " << i;
+    EXPECT_EQ(cached[i].edge, reference[i].edge) << "event " << i;
+    EXPECT_EQ(cached[i].amount, reference[i].amount)
+        << "event " << i << " (" << cached[i].to_string() << " vs "
+        << reference[i].to_string() << ")";
+  }
+}
+
+/// Runs both backends on the problem and asserts bitwise-identical
+/// behaviour: repair lists in decision order, event trace, iteration and
+/// action counters, referee routing and objective values.
+void expect_backends_agree(const core::RecoveryProblem& problem,
+                           core::IspOptions options,
+                           const std::string& label) {
+  options.backend = core::IspBackend::kViewCache;
+  core::IspSolver cached_solver(problem, options);
+  cached_solver.set_trace(true);
+  const core::RecoverySolution cached = cached_solver.solve();
+
+  options.backend = core::IspBackend::kLegacy;
+  core::IspSolver reference_solver(problem, options);
+  reference_solver.set_trace(true);
+  const core::RecoverySolution reference = reference_solver.solve();
+
+  SCOPED_TRACE(label);
+  // Repair sequences: identical elements in the identical decision order.
+  EXPECT_EQ(cached.repaired_nodes, reference.repaired_nodes);
+  EXPECT_EQ(cached.repaired_edges, reference.repaired_edges);
+  // Objectives and referee scoring, exact.
+  EXPECT_EQ(cached.repair_cost, reference.repair_cost);
+  EXPECT_EQ(cached.satisfied_fraction, reference.satisfied_fraction);
+  EXPECT_EQ(cached.instance_feasible, reference.instance_feasible);
+  EXPECT_EQ(cached.iterations, reference.iterations);
+  // Referee routing (the flows scored against the solution).
+  EXPECT_EQ(cached.routing.total_routed, reference.routing.total_routed);
+  EXPECT_EQ(cached.routing.routed, reference.routing.routed);
+  // Engine action counters.
+  EXPECT_EQ(cached_solver.stats().prunes, reference_solver.stats().prunes);
+  EXPECT_EQ(cached_solver.stats().splits, reference_solver.stats().splits);
+  EXPECT_EQ(cached_solver.stats().direct_edge_repairs,
+            reference_solver.stats().direct_edge_repairs);
+  EXPECT_EQ(cached_solver.stats().watchdog_activations,
+            reference_solver.stats().watchdog_activations);
+  // The full action stream, amounts included (prune flows, split dx).
+  expect_same_events(cached_solver.stats().events,
+                     reference_solver.stats().events);
+}
+
+/// The option matrix: default engine, both centrality modes, the LP in
+/// eager and lazy capacity-row regimes, prune/direct-repair ablations and
+/// jittered metrics.
+std::vector<std::pair<std::string, core::IspOptions>> option_combos() {
+  std::vector<std::pair<std::string, core::IspOptions>> combos;
+  combos.emplace_back("default", core::IspOptions{});
+  {
+    core::IspOptions o;
+    o.use_classic_betweenness = true;
+    combos.emplace_back("classic-betweenness", o);
+  }
+  {
+    core::IspOptions o;
+    o.lp.eager_capacity_threshold = 0;  // force lazy capacity rows
+    combos.emplace_back("lp-lazy-rows", o);
+  }
+  {
+    core::IspOptions o;
+    o.lp.seed_paths_per_demand = 0;  // LP starts from an empty column pool
+    combos.emplace_back("lp-no-seeds", o);
+  }
+  {
+    core::IspOptions o;
+    o.enable_prune = false;
+    combos.emplace_back("no-prune", o);
+  }
+  {
+    core::IspOptions o;
+    o.enable_direct_edge_repair = false;
+    combos.emplace_back("no-direct-repair", o);
+  }
+  {
+    core::IspOptions o;
+    o.length_jitter = 0.15;
+    o.jitter_seed = 99;
+    combos.emplace_back("jittered-metric", o);
+  }
+  return combos;
+}
+
+// ≥ 20 seeded scenarios under the default options: 12 ER + 8 Bell-Canada.
+
+class IspDifferentialEr : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspDifferentialEr, CachedMatchesLegacyReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_backends_agree(er_scenario(seed), core::IspOptions{},
+                        "er seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspDifferentialEr, ::testing::Range(1, 13));
+
+class IspDifferentialBellCanada : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspDifferentialBellCanada, CachedMatchesLegacyReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_backends_agree(bell_canada_scenario(seed), core::IspOptions{},
+                        "bell-canada seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspDifferentialBellCanada,
+                         ::testing::Range(1, 9));
+
+// Every option combination over a rotating subset of both families.
+
+class IspDifferentialOptions : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspDifferentialOptions, AllCombosMatchLegacyReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const auto& [name, options] : option_combos()) {
+    expect_backends_agree(er_scenario(seed + 100), options,
+                          "er seed " + std::to_string(seed + 100) + " / " +
+                              name);
+    expect_backends_agree(bell_canada_scenario(seed + 100), options,
+                          "bell-canada seed " + std::to_string(seed + 100) +
+                              " / " + name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspDifferentialOptions,
+                         ::testing::Range(1, 4));
+
+}  // namespace
