@@ -133,6 +133,60 @@ void BM_SimplexDense(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexDense);
 
+/// The PathLpSession re-solve kernel: a master whose rhs drifts a little
+/// between solves (a few percent, the shape of residual consumption),
+/// re-solved either from scratch (cold, the one-shot PathLp shape) or
+/// from the previous basis with warm_append repairs (the session shape).
+/// Same model sequence in both, so the timing difference is pure
+/// warm-start value (~1 pivot per warm re-solve vs a full two-phase
+/// cold solve; large drifts erase the advantage, which is the point of
+/// invalidating precisely).
+lp::Model resolve_model() {
+  lp::Model model;
+  util::Rng rng(11);
+  const int rows = 60;
+  const int cols = 120;
+  for (int r = 0; r < rows; ++r) {
+    model.add_constraint(lp::Sense::kLessEqual, rng.uniform(5.0, 20.0));
+  }
+  for (int c = 0; c < cols; ++c) {
+    const int v =
+        model.add_variable(0.0, lp::kInfinity, -rng.uniform(0.1, 1.0));
+    for (int r = 0; r < rows; ++r) {
+      if (rng.chance(0.15)) model.set_coefficient(r, v, rng.uniform(0.1, 2.0));
+    }
+  }
+  return model;
+}
+
+void BM_SimplexResolveCold(benchmark::State& state) {
+  lp::Model model = resolve_model();
+  const double base = model.constraint(0).rhs;
+  bool flip = false;
+  for (auto _ : state) {
+    model.constraint(0).rhs = flip ? base * 0.98 : base;
+    flip = !flip;
+    benchmark::DoNotOptimize(lp::solve(model));
+  }
+}
+BENCHMARK(BM_SimplexResolveCold);
+
+void BM_SimplexResolveWarm(benchmark::State& state) {
+  lp::Model model = resolve_model();
+  const double base = model.constraint(0).rhs;
+  lp::SolveOptions options;
+  options.warm_append = true;
+  lp::Basis basis;
+  benchmark::DoNotOptimize(lp::solve(model, options, &basis));  // prime
+  bool flip = false;
+  for (auto _ : state) {
+    model.constraint(0).rhs = flip ? base * 0.98 : base;
+    flip = !flip;
+    benchmark::DoNotOptimize(lp::solve(model, options, &basis));
+  }
+}
+BENCHMARK(BM_SimplexResolveWarm);
+
 void BM_IspBellComplete(benchmark::State& state) {
   core::RecoveryProblem p;
   p.graph = bell();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
+#include "graph/dijkstra.hpp"
 #include "graph/simple_paths.hpp"
 #include "graph/view.hpp"
 
@@ -60,11 +62,42 @@ CentralityResult demand_based_centrality(
   const graph::Graph& g = view.graph();
   CentralityResult result(g.num_nodes(), demands.size());
 
+  // Fast path bookkeeping: one shared first-path tree per source that two
+  // or more demands start from (their first Dijkstras see identical
+  // inputs), built lazily.
+  std::unordered_map<graph::NodeId, graph::ShortestPathTree> source_trees;
+  std::unordered_map<graph::NodeId, int> source_count;
+  if (options.share_source_trees) {
+    for (const mcf::Demand& d : demands) {
+      if (d.amount <= 1e-9 || d.source == d.target) continue;
+      ++source_count[d.source];
+    }
+  }
+
   for (std::size_t h = 0; h < demands.size(); ++h) {
     const mcf::Demand& d = demands[h];
     if (d.amount <= 1e-9 || d.source == d.target) continue;
-    auto sp = graph::successive_shortest_paths(
-        view, d.source, d.target, d.amount, options.max_paths_per_demand);
+    graph::SuccessivePathsResult sp;
+    if (options.share_source_trees) {
+      const graph::ShortestPathTree* tree = nullptr;
+      if (source_count[d.source] > 1) {
+        auto it = source_trees.find(d.source);
+        if (it == source_trees.end()) {
+          it = source_trees
+                   .emplace(d.source,
+                            graph::dijkstra_residual(view, d.source,
+                                                     view.edge_capacities()))
+                   .first;
+        }
+        tree = &it->second;
+      }
+      sp = graph::successive_shortest_paths_to(
+          view, d.source, d.target, d.amount, options.max_paths_per_demand,
+          tree);
+    } else {
+      sp = graph::successive_shortest_paths(
+          view, d.source, d.target, d.amount, options.max_paths_per_demand);
+    }
     if (sp.paths.empty() || sp.total_capacity <= 1e-12) continue;
 
     DemandPathSet& set =

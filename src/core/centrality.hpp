@@ -23,6 +23,15 @@ struct CentralityOptions {
   double metric_const = 1.0;
   /// Cap on successive shortest paths collected per demand.
   std::size_t max_paths_per_demand = 64;
+  /// Fast path (bit-identical results): demands sharing a source reuse one
+  /// shortest-path tree for their first selected path — the tree is a pure
+  /// function of (view, source) since every demand's successive-shortest
+  /// enumeration starts from the same untouched residuals — and all
+  /// remaining single-pair lookups stop at their target instead of
+  /// settling the whole graph.  Enabled by ISP's session (LpReuse::kSession)
+  /// engine; off by default so the reference path stays byte-for-byte the
+  /// historical computation.
+  bool share_source_trees = false;
 };
 
 struct DemandPathSet {

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/repair_state.hpp"
@@ -61,6 +63,7 @@ class Engine {
     graph::NodeId target;
     double amount;
     int origin;  ///< original demand index
+    int uid;     ///< stable identity for PathLpSession row binding
   };
 
   Engine(const RecoveryProblem& problem, const IspOptions& opt,
@@ -85,7 +88,7 @@ class Engine {
       const mcf::Demand& d = problem.demands[h];
       if (d.amount <= kEps || d.source == d.target) continue;
       demands_.push_back(
-          {d.source, d.target, d.amount, static_cast<int>(h)});
+          {d.source, d.target, d.amount, static_cast<int>(h), next_uid_++});
     }
     if (opt_.backend == IspBackend::kViewCache) {
       // Cached snapshots for the whole solve.  Residual tests stay OUT of
@@ -116,6 +119,17 @@ class Engine {
         slot_usable_ = cache_->add_config("usable", std::move(usable_config));
       }
       state_.publish_to(&*cache_);
+      if (opt_.lp_reuse == mcf::LpReuse::kSession) {
+        // Persistent path-LP state for the per-iteration probes: the
+        // routability test (kMaxRouted on the working view) and the split
+        // probes (kMaxSplit on the full view).  Registered on the cache so
+        // the same repair/residual events that refresh the snapshots also
+        // invalidate columns and capacity rows.
+        lp_working_.emplace(g_, mcf::PathLpMode::kMaxRouted, opt_.lp);
+        lp_split_.emplace(g_, mcf::PathLpMode::kMaxSplit, opt_.lp);
+        cache_->add_listener(&*lp_working_);
+        cache_->add_listener(&*lp_split_);
+      }
     }
   }
 
@@ -135,6 +149,7 @@ class Engine {
   void consume_residual(graph::EdgeId e, double amount) {
     auto& r = residual_[static_cast<std::size_t>(e)];
     r = std::max(0.0, r - amount);
+    ++residual_epoch_;
     if (cache_) cache_->invalidate_edge(e);
   }
 
@@ -187,12 +202,27 @@ class Engine {
     return out;
   }
 
+  std::vector<mcf::PathLpSession::DemandSpec> current_demand_specs() const {
+    std::vector<mcf::PathLpSession::DemandSpec> out;
+    out.reserve(demands_.size());
+    for (const auto& d : demands_) {
+      out.push_back({d.uid, mcf::Demand{d.source, d.target, d.amount}});
+    }
+    return out;
+  }
+
+  bool lp_sessions() const { return lp_working_.has_value(); }
+
   bool demands_empty() const { return demands_.empty(); }
 
   // --- termination test ----------------------------------------------------
 
   bool routable_on_working() {
     if (demands_.empty()) return true;
+    if (lp_sessions()) {
+      return mcf::is_routable(*lp_working_, working_view(),
+                              current_demand_specs());
+    }
     if (cached()) {
       return mcf::is_routable(working_view(), current_demands(), opt_.lp);
     }
@@ -400,7 +430,11 @@ class Engine {
   // --- split ---------------------------------------------------------------
 
   bool split_phase() {
-    const CentralityOptions copt{opt_.metric_const, opt_.centrality_max_paths};
+    // Session mode turns on the result-preserving centrality shortcuts
+    // (shared source trees, target-stopped lookups); kNone keeps the
+    // byte-for-byte historical computation as the differential reference.
+    const CentralityOptions copt{opt_.metric_const, opt_.centrality_max_paths,
+                                 lp_sessions()};
     const auto centrality =
         cached() ? demand_based_centrality(metric_view(), current_demands(),
                                            copt)
@@ -450,16 +484,33 @@ class Engine {
         const double through =
             centrality.capacity_through(h, vbc, g_);
         if (through <= kEps) continue;
-        const auto flow =
-            cached() ? graph::max_flow(full_view(), dem.source, dem.target,
-                                       residual_)
-                     : graph::legacy::max_flow(g_, dem.source, dem.target,
-                                               residual_view(),
-                                               full_filter());
-        if (flow.value <= kEps) continue;  // infeasible even on full graph
+        double flow_value;
+        if (lp_sessions()) {
+          // The full view has no filters, so its max flows depend only on
+          // the residual capacities: one value per demand uid stays exact
+          // until the next consume_residual (value-identical reuse across
+          // candidate nodes *and* across prune-free iterations).
+          auto [it, fresh] = full_flow_cache_.try_emplace(dem.uid);
+          if (fresh || it->second.first != residual_epoch_) {
+            it->second = {residual_epoch_,
+                          graph::max_flow(full_view(), dem.source, dem.target,
+                                          residual_)
+                              .value};
+          }
+          flow_value = it->second.second;
+        } else {
+          flow_value =
+              (cached() ? graph::max_flow(full_view(), dem.source, dem.target,
+                                          residual_)
+                        : graph::legacy::max_flow(g_, dem.source, dem.target,
+                                                  residual_view(),
+                                                  full_filter()))
+                  .value;
+        }
+        if (flow_value <= kEps) continue;  // infeasible even on full graph
         candidates.push_back(
             {static_cast<std::size_t>(h),
-             std::min(dem.amount, through) / flow.value});
+             std::min(dem.amount, through) / flow_value});
       }
       std::stable_sort(candidates.begin(), candidates.end(),
                        [](const Candidate& a, const Candidate& b) {
@@ -477,13 +528,17 @@ class Engine {
         // refreshed weights, but staying synced is the cache's job, not
         // this loop's.
         const double dx =
-            cached() ? mcf::max_splittable_amount(
-                           full_view(), current_demands(),
-                           static_cast<int>(cand.demand), vbc, opt_.lp)
-                     : mcf::max_splittable_amount(
-                           g_, current_demands(),
-                           static_cast<int>(cand.demand), vbc, full_filter(),
-                           residual_view(), opt_.lp);
+            lp_sessions()
+                ? mcf::max_splittable_amount(
+                      *lp_split_, full_view(), current_demand_specs(),
+                      static_cast<int>(cand.demand), vbc)
+                : cached() ? mcf::max_splittable_amount(
+                                 full_view(), current_demands(),
+                                 static_cast<int>(cand.demand), vbc, opt_.lp)
+                           : mcf::max_splittable_amount(
+                                 g_, current_demands(),
+                                 static_cast<int>(cand.demand), vbc,
+                                 full_filter(), residual_view(), opt_.lp);
         if (dx <= opt_.tolerance) continue;
         apply_split(cand.demand, vbc, std::min(dx, dem.amount));
         return true;
@@ -511,8 +566,8 @@ class Engine {
     const auto target = dem.target;
     const int origin = dem.origin;
     dem.amount -= dx;
-    demands_.push_back({source, via, dx, origin});
-    demands_.push_back({via, target, dx, origin});
+    demands_.push_back({source, via, dx, origin, next_uid_++});
+    demands_.push_back({via, target, dx, origin, next_uid_++});
     ++stats_.splits;
     if (trace_) {
       stats_.events.push_back(IspEvent{IspEvent::Kind::kSplit,
@@ -613,6 +668,16 @@ class Engine {
       return c;
     };
     const mcf::PathLpResult result = [&] {
+      if (lp_sessions()) {
+        // Per-call session context: the completion re-prices every column
+        // against the live repair state and its witness support drives
+        // discrete repair choices, so nothing is carried across calls —
+        // the session API is used for the shared machinery (pool install,
+        // warm rounds within this one converging solve), not persistence.
+        mcf::PathLpSession lp(g_, mcf::PathLpMode::kMinCost, opt_.lp);
+        lp.set_min_cost_objective(pending_cost);
+        return lp.solve(full_view(), current_demand_specs());
+      }
       if (cached()) {
         mcf::PathLp lp(full_view(), current_demands(), opt_.lp);
         lp.set_min_cost(pending_cost);
@@ -655,6 +720,16 @@ class Engine {
       return edge_fixed && node_ok(edge.u) && node_ok(edge.v);
     };
     auto still_routable = [&]() {
+      if (lp_sessions()) {
+        // One snapshot instead of the callback pipeline's three (reach
+        // view, greedy view, PathLp owned view); owned-vs-borrowed PathLp
+        // equivalence makes the verdict identical.
+        graph::ViewConfig config;
+        config.edge_ok = hypothetical;
+        config.capacity = residual_view();
+        return mcf::is_routable(graph::GraphView::build(g_, config),
+                                current_demands(), opt_.lp);
+      }
       return mcf::is_routable(g_, current_demands(), hypothetical,
                               residual_view(), opt_.lp);
     };
@@ -728,6 +803,16 @@ class Engine {
   graph::ViewCache::SlotId slot_full_ = 0;
   graph::ViewCache::SlotId slot_metric_ = 0;
   graph::ViewCache::SlotId slot_usable_ = 0;
+  /// Engaged iff additionally opt_.lp_reuse == kSession: persistent path-LP
+  /// masters, fed by the cache's mutation fan-out.  Declared after cache_
+  /// (they are registered listeners; both die with the Engine, cache last).
+  std::optional<mcf::PathLpSession> lp_working_;
+  std::optional<mcf::PathLpSession> lp_split_;
+  int next_uid_ = 0;
+  /// Bumped by consume_residual; versions the full-graph flow memo below.
+  std::uint64_t residual_epoch_ = 0;
+  /// uid -> (residual epoch, full-view max-flow value); session mode only.
+  std::unordered_map<int, std::pair<std::uint64_t, double>> full_flow_cache_;
 };
 
 }  // namespace

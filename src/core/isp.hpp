@@ -27,6 +27,7 @@
 #include "core/centrality.hpp"
 #include "core/problem.hpp"
 #include "mcf/path_lp.hpp"
+#include "mcf/path_lp_session.hpp"
 
 namespace netrec::core {
 
@@ -68,6 +69,14 @@ struct IspOptions {
   /// See IspBackend; kLegacy exists for the differential harness and the
   /// perf_isp before/after bench.
   IspBackend backend = IspBackend::kViewCache;
+  /// Path-LP state reuse across iterations (mcf::PathLpSession): the
+  /// routability probe and the split probes keep their column pools and
+  /// warm bases for the whole solve, synced through the same ViewCache
+  /// mutation events the snapshots consume.  kNone is the one-shot
+  /// PathLp-per-call reference the differential harness compares against.
+  /// Sessions need cached views, so the option only takes effect with
+  /// backend == kViewCache (kLegacy always runs one-shot LPs).
+  mcf::LpReuse lp_reuse = mcf::LpReuse::kSession;
 };
 
 /// One algorithm action, for tracing/examples.

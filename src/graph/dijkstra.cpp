@@ -32,7 +32,8 @@ QuadHeap<HeapItem>& heap_storage() {
 /// lengths.
 template <class WeightOf, class ArcOk>
 ShortestPathTree run_dijkstra(const GraphView& view, NodeId source,
-                              const WeightOf& weight_of, const ArcOk& arc_ok) {
+                              const WeightOf& weight_of, const ArcOk& arc_ok,
+                              NodeId stop_at = kInvalidNode) {
   view.graph().check_node(source);
   ShortestPathTree tree;
   tree.source = source;
@@ -45,6 +46,9 @@ ShortestPathTree run_dijkstra(const GraphView& view, NodeId source,
   while (!heap.empty()) {
     const auto [dist, at] = heap.pop();
     if (dist > tree.distance[static_cast<std::size_t>(at)]) continue;
+    // Settling `stop_at` fixes its distance and parent chain; the rest of
+    // the settle order cannot change them (labels only grow).
+    if (at == stop_at) break;
     const ArcId end = view.arcs_end(at);
     for (ArcId a = view.arcs_begin(at); a < end; ++a) {
       const EdgeId e = view.arc_edge(a);
@@ -122,6 +126,22 @@ ShortestPathTree dijkstra(const GraphView& view, NodeId source,
       });
 }
 
+ShortestPathTree dijkstra_to(const GraphView& view, NodeId source,
+                             NodeId target,
+                             const std::vector<double>& edge_length,
+                             const std::vector<double>& edge_residual) {
+  view.graph().check_node(target);
+  return run_dijkstra(
+      view, source,
+      [&edge_length](ArcId, EdgeId e) {
+        return edge_length[static_cast<std::size_t>(e)];
+      },
+      [&edge_residual](EdgeId e) {
+        return edge_residual[static_cast<std::size_t>(e)] > kResidualEps;
+      },
+      target);
+}
+
 ShortestPathTree dijkstra_residual(const GraphView& view, NodeId source,
                                    const std::vector<double>& edge_residual) {
   return run_dijkstra(
@@ -130,6 +150,19 @@ ShortestPathTree dijkstra_residual(const GraphView& view, NodeId source,
       [&edge_residual](EdgeId e) {
         return edge_residual[static_cast<std::size_t>(e)] > kResidualEps;
       });
+}
+
+ShortestPathTree dijkstra_residual_to(
+    const GraphView& view, NodeId source, NodeId target,
+    const std::vector<double>& edge_residual) {
+  view.graph().check_node(target);
+  return run_dijkstra(
+      view, source,
+      [&view](ArcId a, EdgeId) { return view.arc_length(a); },
+      [&edge_residual](EdgeId e) {
+        return edge_residual[static_cast<std::size_t>(e)] > kResidualEps;
+      },
+      target);
 }
 
 std::optional<Path> shortest_path(const GraphView& view, NodeId source,

@@ -53,11 +53,30 @@ ShortestPathTree dijkstra(const GraphView& view, NodeId source,
                           const std::vector<double>& edge_length,
                           const std::vector<double>& edge_residual);
 
+/// The pricing traversal above, stopped once `target` settles (exact
+/// distance/path for the target, see dijkstra_residual_to) — per-demand
+/// pricing in PathLpSession reads only the target's label.
+ShortestPathTree dijkstra_to(const GraphView& view, NodeId source,
+                             NodeId target,
+                             const std::vector<double>& edge_length,
+                             const std::vector<double>& edge_residual);
+
 /// Dijkstra under the view's lengths, skipping edges whose entry in
 /// `edge_residual` is <= 1e-9 — the residual-capacity loops of greedy
 /// routing and successive shortest paths.
 ShortestPathTree dijkstra_residual(const GraphView& view, NodeId source,
                                    const std::vector<double>& edge_residual);
+
+/// dijkstra_residual that stops as soon as `target` is settled.  Every node
+/// settled before the stop — in particular the whole source->target parent
+/// chain — carries exactly the distances and parents of the full tree
+/// (Dijkstra settles in a deterministic total order), so path_to(target) is
+/// bit-identical to the unbounded call; entries for unsettled nodes are
+/// not meaningful.  The single-pair lookups of ISP's session fast path use
+/// this to skip the tail of the settle order.
+ShortestPathTree dijkstra_residual_to(const GraphView& view, NodeId source,
+                                      NodeId target,
+                                      const std::vector<double>& edge_residual);
 
 /// Shortest path source -> target over the view, or nullopt.
 std::optional<Path> shortest_path(const GraphView& view, NodeId source,

@@ -25,6 +25,8 @@
 
 namespace netrec::graph {
 
+struct ShortestPathTree;  // graph/dijkstra.hpp
+
 struct SimplePathLimits {
   std::size_t max_paths = 10'000;  ///< stop after this many paths
   std::size_t max_hops = 32;       ///< skip longer paths
@@ -45,6 +47,19 @@ struct SuccessivePathsResult {
 /// limits.  Emitted in DFS (adjacency) order.
 std::vector<Path> all_simple_paths(const GraphView& view, NodeId s, NodeId t,
                                    const SimplePathLimits& limits = {});
+
+/// successive_shortest_paths with every Dijkstra stopped at `t` once it is
+/// settled.  Selects bit-identical paths in the identical order (the
+/// settle prefix up to the target matches the full run); used by the
+/// session fast paths, while the unbounded variant below remains the
+/// byte-for-byte reference computation.  When `first_tree` is non-null it
+/// must be a shortest-path tree from `s` over the view's untouched
+/// capacities — exactly what the first enumeration round computes — and
+/// that round reads it instead of running its own Dijkstra (demand-based
+/// centrality shares one tree across demands with a common source).
+SuccessivePathsResult successive_shortest_paths_to(
+    const GraphView& view, NodeId s, NodeId t, double demand,
+    std::size_t max_paths, const ShortestPathTree* first_tree = nullptr);
 
 /// P̂*(s,t) over the view: shortest paths under the view's lengths collected
 /// until their combined capacity (from the view's capacities) reaches

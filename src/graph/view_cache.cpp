@@ -1,5 +1,6 @@
 #include "graph/view_cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace netrec::graph {
@@ -53,6 +54,7 @@ void ViewCache::invalidate_edge(EdgeId e) {
   g_->check_edge(e);
   ++epoch_;
   for (auto& slot : slots_) mark_edge(*slot, e);
+  for (MutationListener* l : listeners_) l->on_edge_invalidated(e);
 }
 
 void ViewCache::invalidate_node(NodeId n) {
@@ -67,11 +69,24 @@ void ViewCache::invalidate_node(NodeId n) {
     }
     for (EdgeId e : g_->incident_edges(n)) mark_edge(*slot, e);
   }
+  for (MutationListener* l : listeners_) l->on_node_invalidated(n);
 }
 
 void ViewCache::bump_epoch() {
   ++epoch_;
   for (auto& slot : slots_) slot->rebuild = true;
+  for (MutationListener* l : listeners_) l->on_epoch_bumped();
+}
+
+void ViewCache::add_listener(MutationListener* listener) {
+  if (!listener) return;
+  listeners_.push_back(listener);
+}
+
+void ViewCache::remove_listener(MutationListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
 }
 
 void ViewCache::sync(Slot& slot) {

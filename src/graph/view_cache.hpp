@@ -60,6 +60,27 @@
 
 namespace netrec::graph {
 
+/// Receiver side of the ViewCache's mutation fan-out: consumers that hold
+/// *derived* state keyed on graph elements (not a view itself — e.g. the
+/// path-LP column pools in mcf::PathLpSession) register with add_listener
+/// and get every published mutation forwarded verbatim, so one publisher
+/// call (RepairState::publish_to, ISP's consume_residual) keeps cached
+/// views and derived pools coherent alike.  Callbacks fire synchronously
+/// inside the invalidate_*/bump_epoch call, before it returns; they must
+/// not mutate the cache re-entrantly.
+class MutationListener {
+ public:
+  virtual ~MutationListener() = default;
+  /// A property of edge `e` changed (residual drained, broken flag
+  /// repaired, a metric input touched).
+  virtual void on_edge_invalidated(EdgeId e) = 0;
+  /// A property of node `n` changed (typically repaired); implies every
+  /// incident edge may have changed.
+  virtual void on_node_invalidated(NodeId n) = 0;
+  /// Anything may have changed; drop all derived state.
+  virtual void on_epoch_bumped() = 0;
+};
+
 class ViewCache {
  public:
   /// Handle to a registered configuration (dense, starts at 0).
@@ -84,6 +105,13 @@ class ViewCache {
   void invalidate_edge(EdgeId e);
   void invalidate_node(NodeId n);
   void bump_epoch();
+
+  /// Registers a mutation listener (borrowed, not owned; must outlive the
+  /// cache or be removed first).  Listeners are notified after the cache's
+  /// own slots are marked, in registration order.
+  void add_listener(MutationListener* listener);
+  /// Removes a previously registered listener; unknown pointers are a no-op.
+  void remove_listener(MutationListener* listener);
 
   /// Monotone counter of published mutations.
   std::uint64_t epoch() const { return epoch_; }
@@ -119,6 +147,7 @@ class ViewCache {
   const Graph* g_;
   /// unique_ptr for address stability of the contained GraphViews.
   std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<MutationListener*> listeners_;  ///< borrowed, fan-out targets
   std::uint64_t epoch_ = 0;
   Stats stats_;
 };

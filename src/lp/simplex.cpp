@@ -391,6 +391,58 @@ class SimplexEngine {
     return true;
   }
 
+  /// Repairs a decoded warm basis left primal infeasible by appended rows or
+  /// rhs/bound drift: every row whose basic variable sits outside its bounds
+  /// hands the row to an (opened) artificial, with the old basic snapped to
+  /// its violated bound; an artificial that comes out negative has its
+  /// column sign flipped.  Each pass refactorises, so a handful of passes
+  /// settles the signs; returns false when the basis stays unusable and the
+  /// caller should cold-start.  On success `need_phase1` reports whether any
+  /// artificial is basic at a positive value (phase 1 must drive it out).
+  bool warm_repair(bool& need_phase1) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (!refactorize()) return false;
+      recompute_basics();
+      bool any_violation = false;
+      for (int r = 0; r < m_; ++r) {
+        const int b = basic_of_row_[static_cast<std::size_t>(r)];
+        const double xb = x_[static_cast<std::size_t>(b)];
+        const double lo = lower_[static_cast<std::size_t>(b)];
+        const double hi = upper_[static_cast<std::size_t>(b)];
+        if (xb >= lo - opt_.feasibility_tol &&
+            xb <= hi + opt_.feasibility_tol) {
+          continue;
+        }
+        any_violation = true;
+        if (is_artificial(b)) {
+          // Wrong sign guess: mirror the column so the value comes out >= 0.
+          columns_[static_cast<std::size_t>(b)].entries[0].value *= -1.0;
+          continue;
+        }
+        // The violated side is necessarily finite.
+        x_[static_cast<std::size_t>(b)] = xb < lo ? lo : hi;
+        const int art = artificial_index(r);
+        columns_[static_cast<std::size_t>(art)].entries = {Entry{r, 1.0}};
+        upper_[static_cast<std::size_t>(art)] = kInfinity;
+        x_[static_cast<std::size_t>(art)] = 0.0;
+        basic_of_row_[static_cast<std::size_t>(r)] = art;
+      }
+      if (!any_violation) {
+        need_phase1 = false;
+        for (int r = 0; r < m_; ++r) {
+          const int b = basic_of_row_[static_cast<std::size_t>(r)];
+          if (is_artificial(b) &&
+              x_[static_cast<std::size_t>(b)] > opt_.feasibility_tol) {
+            need_phase1 = true;
+            break;
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Cold start: nonbasics to bounds, artificial basis sized to residuals.
   void cold_start() {
     for (int v = 0; v < n_struct_ + m_; ++v) {
@@ -439,14 +491,22 @@ Solution SimplexEngine::run(Basis* warm) {
 
   long iterations = 0;
   bool warm_started = false;
+  bool warm_needs_phase1 = false;
 
   // Try the caller's basis: decode (negative ids are slacks), rebuild the
-  // inverse, accept only if it is nonsingular and primal feasible.
-  if (warm && warm->rows == m_ &&
-      static_cast<int>(warm->basic_of_row.size()) == m_) {
+  // inverse, accept only if it is nonsingular and primal feasible.  With
+  // warm_append, a basis recorded for fewer rows is extended (new rows get
+  // their slacks) and infeasibility is repaired instead of rejected; a basis
+  // recorded for *more* rows than the model has is always discarded.
+  const int warm_rows = warm ? warm->rows : 0;
+  const bool warm_usable =
+      warm && warm_rows > 0 &&
+      static_cast<int>(warm->basic_of_row.size()) == warm_rows &&
+      (warm_rows == m_ || (opt_.warm_append && warm_rows < m_));
+  if (warm_usable) {
     basic_of_row_.assign(static_cast<std::size_t>(m_), 0);
     bool decodable = true;
-    for (int r = 0; r < m_ && decodable; ++r) {
+    for (int r = 0; r < warm_rows && decodable; ++r) {
       const int pub = warm->basic_of_row[static_cast<std::size_t>(r)];
       int internal;
       if (pub >= 0) {
@@ -457,6 +517,11 @@ Solution SimplexEngine::run(Basis* warm) {
         if (-pub - 1 >= m_) decodable = false;
       }
       if (decodable) basic_of_row_[static_cast<std::size_t>(r)] = internal;
+    }
+    // Appended rows enter with their own slacks basic: the extended basis
+    // matrix is block triangular, so nonsingularity is inherited.
+    for (int r = warm_rows; r < m_; ++r) {
+      basic_of_row_[static_cast<std::size_t>(r)] = slack_index(r);
     }
     if (decodable) {
       // Nonbasic statuses: known vars from the warm record, new vars at
@@ -472,7 +537,8 @@ Solution SimplexEngine::run(Basis* warm) {
           x_[v] = upper_[v];
         }
       }
-      for (int i = 0; i < m_ && i < static_cast<int>(warm->slack_status.size());
+      for (int i = 0;
+           i < warm_rows && i < static_cast<int>(warm->slack_status.size());
            ++i) {
         const std::size_t s = static_cast<std::size_t>(slack_index(i));
         if (warm->slack_status[static_cast<std::size_t>(i)] ==
@@ -481,16 +547,20 @@ Solution SimplexEngine::run(Basis* warm) {
           x_[s] = upper_[s];
         }
       }
-      if (refactorize()) {
+      if (opt_.warm_append) {
+        warm_started = warm_repair(warm_needs_phase1);
+      } else if (refactorize()) {
         recompute_basics();
         if (basics_within_bounds(opt_.feasibility_tol)) warm_started = true;
       }
     }
   }
 
-  if (!warm_started) {
-    cold_start();
-    // Phase 1: minimise the artificial sum.
+  if (!warm_started) cold_start();
+  if (!warm_started || warm_needs_phase1) {
+    // Phase 1: minimise the artificial sum (all of them after a cold start,
+    // only the repair-opened ones after a degraded warm start — the rest
+    // stay fixed at zero and cannot move).
     std::vector<double> real_costs = cost_;
     for (int v = 0; v < n_total_; ++v) {
       cost_[static_cast<std::size_t>(v)] = is_artificial(v) ? 1.0 : 0.0;
@@ -514,13 +584,16 @@ Solution SimplexEngine::run(Basis* warm) {
       solution.iterations = iterations;
       return solution;
     }
-    // Close the artificials for phase 2 (they may stay basic at 0).
-    for (int i = 0; i < m_; ++i) {
-      const int art = artificial_index(i);
-      upper_[static_cast<std::size_t>(art)] = 0.0;
-      if (x_[static_cast<std::size_t>(art)] < 0.0) {
-        x_[static_cast<std::size_t>(art)] = 0.0;
-      }
+  }
+  // Close the artificials for phase 2 (they may stay basic at 0).  This
+  // must run even when a warm repair opened artificials but found no
+  // phase-1 work (all within tolerance): a zero-cost artificial left with
+  // an infinite upper would let phase 2 silently relax its row.
+  for (int i = 0; i < m_; ++i) {
+    const int art = artificial_index(i);
+    upper_[static_cast<std::size_t>(art)] = 0.0;
+    if (x_[static_cast<std::size_t>(art)] < 0.0) {
+      x_[static_cast<std::size_t>(art)] = 0.0;
     }
   }
 
@@ -556,10 +629,18 @@ Solution SimplexEngine::run(Basis* warm) {
     warm->basic_of_row.assign(static_cast<std::size_t>(m_), 0);
     bool exportable = true;
     for (int r = 0; r < m_; ++r) {
-      const int v = basic_of_row_[static_cast<std::size_t>(r)];
+      int v = basic_of_row_[static_cast<std::size_t>(r)];
       if (is_artificial(v)) {
-        exportable = false;  // degenerate artificial still basic; skip export
-        break;
+        if (opt_.warm_append) {
+          // A degenerate artificial (basic at 0) occupies a unit column on
+          // its own row — structurally identical to the row's slack, so
+          // export the slack instead of discarding the whole basis.  Any
+          // resulting infeasibility is what warm_repair exists for.
+          v = slack_index(v - n_struct_ - m_);
+        } else {
+          exportable = false;  // degenerate artificial basic; skip export
+          break;
+        }
       }
       warm->basic_of_row[static_cast<std::size_t>(r)] =
           v < n_struct_ ? v : -(v - n_struct_) - 1;

@@ -46,6 +46,16 @@ struct SolveOptions {
   int refactor_interval = 256;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int degeneracy_threshold = 64;
+  /// Degraded warm starts instead of all-or-nothing: a warm basis recorded
+  /// before rows were appended is extended with the new rows' slacks, and a
+  /// basis left primal infeasible by rhs/bound drift is repaired by swapping
+  /// artificials into the violated rows and running phase 1 from there — a
+  /// partial restart proportional to the damage, not a full cold start.  A
+  /// basis recorded for *more* rows than the model has is still discarded
+  /// (stale dimensions; cold start).  Off by default: the classic behavior
+  /// (same-dimension feasible warm start or full cold start) is preserved
+  /// bit for bit.
+  bool warm_append = false;
 };
 
 /// Nonbasic variables rest at one of their bounds.
@@ -53,7 +63,9 @@ enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper };
 
 /// Opaque warm-start state; valid for re-solves of the same model possibly
 /// extended with *new variables* (they start nonbasic at a bound).  If the
-/// number of rows changed, the solver ignores it and cold-starts.  Slack
+/// number of rows changed, the solver ignores it and cold-starts — unless
+/// SolveOptions::warm_append is set, in which case a basis recorded before
+/// rows were appended degrades to a partial restart (see there).  Slack
 /// statuses are kept separate from structural ones so the record survives
 /// column additions (their indices would otherwise shift).
 struct Basis {

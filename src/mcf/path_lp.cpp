@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "graph/dijkstra.hpp"
 #include "graph/simple_paths.hpp"
@@ -174,6 +176,29 @@ PathLpResult PathLp::solve() {
   }
 
   std::vector<ColumnInfo> columns;
+  // Column-pool sizing and duplicate detection: the seed pass and every
+  // pricing round append columns, so reserve the expected seed volume up
+  // front, and refuse a column whose (demand, arc set) already exists —
+  // a duplicate is inert in the master (same coefficients, ties broken by
+  // lower index) but bloats every subsequent simplex scan.
+  const std::size_t expected_columns =
+      static_cast<std::size_t>(n_demands) * opt_.seed_paths_per_demand + 16;
+  columns.reserve(expected_columns);
+  model.reserve(expected_columns + static_cast<std::size_t>(n_demands) + 2,
+                static_cast<std::size_t>(n_demands) + cost_bounds_.size() +
+                    (eager ? g_.num_edges() : 0) + 2);
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> column_keys;
+  auto column_key = [](int demand_index, const graph::Path& p) {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+      return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    };
+    std::uint64_t h = mix(0x243f6a8885a308d3ULL,
+                          static_cast<std::uint64_t>(demand_index));
+    for (graph::EdgeId e : p.edges) {
+      h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(e)));
+    }
+    return h;
+  };
   auto path_objective_cost = [&](const graph::Path& p) -> double {
     if (mode_ == PathLpMode::kMaxRouted) return -1.0;
     if (mode_ == PathLpMode::kMaxSplit) return 0.0;
@@ -181,7 +206,17 @@ PathLpResult PathLp::solve() {
     for (graph::EdgeId e : p.edges) c += objective_edge_cost_(e);
     return c;
   };
+  /// Returns false when the column already exists (duplicate skipped).
   auto add_column = [&](int demand_index, graph::Path path) {
+    const std::uint64_t key = column_key(demand_index, path);
+    auto& bucket = column_keys[key];
+    for (std::size_t c : bucket) {
+      if (columns[c].demand_index == demand_index &&
+          columns[c].path.edges == path.edges) {
+        return false;
+      }
+    }
+    bucket.push_back(columns.size());
     ColumnInfo info;
     info.demand_index = demand_index;
     info.var = model.add_variable(0.0, lp::kInfinity,
@@ -200,6 +235,7 @@ PathLpResult PathLp::solve() {
     }
     info.path = std::move(path);
     columns.push_back(std::move(info));
+    return true;
   };
 
   // Seed columns: a few successive shortest (by hops) paths per demand.
@@ -303,8 +339,9 @@ PathLpResult PathLp::solve() {
       if (!tree.reached(d.target)) continue;
       if (tree.distance[static_cast<std::size_t>(d.target)] < threshold) {
         auto path = tree.path_to(g_, d.target);
-        add_column(h, std::move(*path));
-        added_column = true;
+        // A re-derived duplicate proves no new column improves this
+        // demand (its reduced cost is already ~0); do not loop on it.
+        if (add_column(h, std::move(*path))) added_column = true;
       }
     }
     if (!added_column) {

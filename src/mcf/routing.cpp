@@ -115,6 +115,26 @@ bool is_routable(const graph::GraphView& view,
   return route_demands(view, demands, options).fully_routed;
 }
 
+bool is_routable(PathLpSession& session, const graph::GraphView& view,
+                 const std::vector<PathLpSession::DemandSpec>& demands) {
+  // Keep the O(V+E) reachability precheck — early ISP iterations probe a
+  // working graph where some endpoint pair is simply disconnected, and a
+  // BFS answers that for less than a master re-solve.  The greedy pass is
+  // dropped: it exists to spare a *cold* LP, but a warm session master
+  // answers a YES probe in one re-solve (pricing skipped via the early
+  // stop) and a NO probe needs the exact LP anyway.  The verdict is the
+  // same boolean on every branch because the LP is exact.
+  for (const PathLpSession::DemandSpec& spec : demands) {
+    const Demand& d = spec.demand;
+    if (d.amount <= kEps || d.source == d.target) continue;
+    if (!graph::reachable(view, d.source, d.target,
+                          view.edge_capacities())) {
+      return false;
+    }
+  }
+  return session.solve_routability(view, demands).routing.fully_routed;
+}
+
 RoutingResult max_routed_flow(const graph::Graph& g,
                               const std::vector<Demand>& demands,
                               const graph::EdgeFilter& edge_ok,

@@ -12,9 +12,21 @@
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
 #include "mcf/path_lp.hpp"
+#include "mcf/path_lp_session.hpp"
 #include "mcf/types.hpp"
 
 namespace netrec::mcf {
+
+// --- session-based (persistent hot path) -------------------------------------
+
+/// The paper's routability test (eq. 2) on a persistent PathLpSession
+/// (kMaxRouted mode, pooled columns, warm basis).  Unlike the one-shot
+/// overloads there are no reachability/greedy prechecks: the warm master
+/// re-solve with the pricing early-stop *is* the fast path, and its
+/// verdict equals the precheck pipeline's by LP exactness — which the ISP
+/// differential harness pins exactly.
+bool is_routable(PathLpSession& session, const graph::GraphView& view,
+                 const std::vector<PathLpSession::DemandSpec>& demands);
 
 // --- view-based (hot path) ---------------------------------------------------
 //

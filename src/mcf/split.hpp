@@ -9,9 +9,19 @@
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
 #include "mcf/path_lp.hpp"
+#include "mcf/path_lp_session.hpp"
 #include "mcf/types.hpp"
 
 namespace netrec::mcf {
+
+/// Same LP on a persistent kMaxSplit session: the columns of the unsplit
+/// demands and of earlier (via, half) probes persist across calls, and the
+/// master warm-starts from the previous probe's basis — the hottest call in
+/// ISP's split phase (one probe per centrality candidate per iteration).
+double max_splittable_amount(
+    PathLpSession& session, const graph::GraphView& view,
+    const std::vector<PathLpSession::DemandSpec>& demands, int split_index,
+    graph::NodeId via);
 
 /// Returns dx in [0, demands[split_index].amount]; 0 when even the unsplit
 /// demand is not routable under the filter/capacities (ISP treats that as

@@ -90,19 +90,19 @@ void expect_same_events(const std::vector<core::IspEvent>& cached,
   }
 }
 
-/// Runs both backends on the problem and asserts bitwise-identical
-/// behaviour: repair lists in decision order, event trace, iteration and
-/// action counters, referee routing and objective values.
-void expect_backends_agree(const core::RecoveryProblem& problem,
-                           core::IspOptions options,
-                           const std::string& label) {
-  options.backend = core::IspBackend::kViewCache;
-  core::IspSolver cached_solver(problem, options);
+/// Runs the solver under two option sets on the same problem and asserts
+/// bitwise-identical behaviour: repair lists in decision order, event
+/// trace, iteration and action counters, referee routing and objective
+/// values.
+void expect_options_agree(const core::RecoveryProblem& problem,
+                          const core::IspOptions& candidate,
+                          const core::IspOptions& reference_options,
+                          const std::string& label) {
+  core::IspSolver cached_solver(problem, candidate);
   cached_solver.set_trace(true);
   const core::RecoverySolution cached = cached_solver.solve();
 
-  options.backend = core::IspBackend::kLegacy;
-  core::IspSolver reference_solver(problem, options);
+  core::IspSolver reference_solver(problem, reference_options);
   reference_solver.set_trace(true);
   const core::RecoverySolution reference = reference_solver.solve();
 
@@ -128,6 +128,33 @@ void expect_backends_agree(const core::RecoveryProblem& problem,
   // The full action stream, amounts included (prune flows, split dx).
   expect_same_events(cached_solver.stats().events,
                      reference_solver.stats().events);
+}
+
+/// ViewCache backend (with its default LpReuse::kSession) against the
+/// graph::legacy reference.
+void expect_backends_agree(const core::RecoveryProblem& problem,
+                           core::IspOptions options,
+                           const std::string& label) {
+  core::IspOptions cached = options;
+  cached.backend = core::IspBackend::kViewCache;
+  core::IspOptions reference = options;
+  reference.backend = core::IspBackend::kLegacy;
+  expect_options_agree(problem, cached, reference, label);
+}
+
+/// LpReuse::kSession against LpReuse::kNone, both on the ViewCache
+/// backend: isolates the PathLpSession machinery (pooled columns, warm
+/// bases, appended-row partial restarts, session-only centrality/flow
+/// shortcuts) as the only difference under test.
+void expect_lp_reuse_agrees(const core::RecoveryProblem& problem,
+                            core::IspOptions options,
+                            const std::string& label) {
+  options.backend = core::IspBackend::kViewCache;
+  core::IspOptions session = options;
+  session.lp_reuse = mcf::LpReuse::kSession;
+  core::IspOptions one_shot = options;
+  one_shot.lp_reuse = mcf::LpReuse::kNone;
+  expect_options_agree(problem, session, one_shot, label);
 }
 
 /// The option matrix: default engine, both centrality modes, the LP in
@@ -210,6 +237,52 @@ TEST_P(IspDifferentialOptions, AllCombosMatchLegacyReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IspDifferentialOptions,
+                         ::testing::Range(1, 4));
+
+// PathLpSession vs one-shot PathLp (LpReuse::kSession vs kNone, both on
+// the ViewCache backend) across >= 20 seeded scenarios: 12 ER + 8
+// Bell-Canada under default options, plus every option combination on a
+// rotating subset.  Pins the session's column pool, warm-basis reuse and
+// invalidation hooks bit-identical to the per-iteration reference.
+
+class IspSessionDifferentialEr : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspSessionDifferentialEr, SessionMatchesOneShotReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_lp_reuse_agrees(er_scenario(seed), core::IspOptions{},
+                         "er seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspSessionDifferentialEr,
+                         ::testing::Range(1, 13));
+
+class IspSessionDifferentialBellCanada
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspSessionDifferentialBellCanada, SessionMatchesOneShotReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_lp_reuse_agrees(bell_canada_scenario(seed), core::IspOptions{},
+                         "bell-canada seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspSessionDifferentialBellCanada,
+                         ::testing::Range(1, 9));
+
+class IspSessionDifferentialOptions : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspSessionDifferentialOptions, AllCombosMatchOneShotReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const auto& [name, options] : option_combos()) {
+    expect_lp_reuse_agrees(er_scenario(seed + 200), options,
+                           "er seed " + std::to_string(seed + 200) + " / " +
+                               name);
+    expect_lp_reuse_agrees(bell_canada_scenario(seed + 200), options,
+                           "bell-canada seed " + std::to_string(seed + 200) +
+                               " / " + name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspSessionDifferentialOptions,
                          ::testing::Range(1, 4));
 
 }  // namespace
