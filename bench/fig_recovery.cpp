@@ -1,0 +1,364 @@
+// Recovery-dynamics sweep: repair policy × disaster dynamics, staged.
+//
+// The paper's figures score one-shot plans; this driver scores *processes*.
+// For each scenario family (Erdős–Rényi under a Gaussian regional disaster,
+// Bell-Canada under complete destruction) it runs every repair policy
+// (replay the one-shot ISP plan, re-plan per stage, betweenness-greedy,
+// list-order and random baselines) against every dynamics model (static,
+// decaying aftershock sequence, capacity-overload cascade) over --runs
+// seeded instances on the deterministic seed-split thread pool, and
+// reports restoration AUC (padded to --max-stages so series of different
+// lengths share a time axis), final restored percentage, repairs and
+// stages-to-90%.
+//
+// The ER family is additionally re-run at --threads 1 to record the
+// parallel sweep's thread scaling into --json (default
+// BENCH_recovery.json, the artifact CI archives): wall seconds at 1 and N
+// threads, the speedup, and an identical_aggregates flag confirming the
+// two runs agreed bit-for-bit on every non-wall metric — the engine's
+// determinism contract.
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "disruption/disruption.hpp"
+#include "graph/traversal.hpp"
+#include "recovery/dynamics.hpp"
+#include "recovery/policies.hpp"
+#include "scenario/timeline_runner.hpp"
+#include "topology/topologies.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace netrec;
+
+const std::vector<std::string> kAggregateMetrics = {
+    "restoration_auc", "final_pct",   "total_repairs", "repair_cost",
+    "stages",          "stages_to_90", "shock_breaks"};
+
+std::vector<std::pair<std::string, scenario::PolicyFactory>> make_policies() {
+  std::vector<std::pair<std::string, scenario::PolicyFactory>> policies;
+  policies.emplace_back("replay", [] {
+    return std::make_unique<recovery::ReplayPolicy>();
+  });
+  policies.emplace_back("replan", [] {
+    return std::make_unique<recovery::ReplanPolicy>();
+  });
+  policies.emplace_back("betweenness", [] {
+    return std::make_unique<recovery::BetweennessGreedyPolicy>();
+  });
+  policies.emplace_back("list", [] {
+    return std::make_unique<recovery::ListOrderPolicy>();
+  });
+  policies.emplace_back("random", [] {
+    return std::make_unique<recovery::RandomPolicy>();
+  });
+  return policies;
+}
+
+std::vector<std::pair<std::string, scenario::DynamicsFactory>> make_dynamics(
+    const util::Flags& flags) {
+  disruption::AftershockOptions aopts;
+  aopts.first.variance = flags.get_double("aftershock-variance");
+  aopts.decay = flags.get_double("aftershock-decay");
+  aopts.max_shocks = static_cast<std::size_t>(flags.get_int("aftershocks"));
+  disruption::CascadeOptions copts;
+  copts.overload_factor = flags.get_double("overload");
+
+  std::vector<std::pair<std::string, scenario::DynamicsFactory>> dynamics;
+  dynamics.emplace_back("static", [] {
+    return std::make_unique<recovery::StaticDynamics>();
+  });
+  dynamics.emplace_back("aftershock", [aopts] {
+    return std::make_unique<recovery::AftershockDynamics>(aopts);
+  });
+  dynamics.emplace_back("cascade", [copts] {
+    return std::make_unique<recovery::CascadeDynamics>(copts);
+  });
+  return dynamics;
+}
+
+/// policy-rows × dynamics-columns matrix of one metric's per-cell means;
+/// first row is the header.  One builder feeds both the printed table and
+/// the CSV the CI determinism check compares, so they cannot desync.
+std::vector<std::vector<std::string>> cell_matrix(
+    const scenario::TimelineAggregate& aggregate,
+    const std::vector<std::pair<std::string, scenario::PolicyFactory>>&
+        policies,
+    const std::vector<std::pair<std::string, scenario::DynamicsFactory>>&
+        dynamics,
+    const std::string& metric, int precision) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"policy"};
+  for (const auto& [name, factory] : dynamics) header.push_back(name);
+  rows.push_back(std::move(header));
+  for (const auto& [policy_name, policy_factory] : policies) {
+    std::vector<std::string> row{policy_name};
+    for (const auto& [dynamics_name, dynamics_factory] : dynamics) {
+      const auto& cell = aggregate.per_cell.at(
+          scenario::timeline_cell_name(policy_name, dynamics_name));
+      row.push_back(
+          util::format_double(cell.get(metric).mean(), precision));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_cell_table(std::vector<std::vector<std::string>> matrix) {
+  util::Table table(std::move(matrix.front()));
+  for (std::size_t r = 1; r < matrix.size(); ++r) {
+    table.add_row(std::move(matrix[r]));
+  }
+  table.print();
+}
+
+void write_cell_csv(const std::string& path,
+                    const std::vector<std::vector<std::string>>& matrix) {
+  util::CsvWriter csv(path);
+  for (const auto& row : matrix) csv.row(row);
+}
+
+util::Json aggregate_to_json(const scenario::TimelineAggregate& aggregate) {
+  util::Json cells = util::Json::object();
+  for (const std::string& name : aggregate.cell_names) {
+    const util::MetricSet& metrics = aggregate.per_cell.at(name);
+    util::Json entry = util::Json::object();
+    for (const std::string& metric : kAggregateMetrics) {
+      util::Json stat = util::Json::object();
+      stat.set("mean", metrics.get(metric).mean());
+      stat.set("stddev", metrics.get(metric).stddev());
+      entry.set(metric, std::move(stat));
+    }
+    entry.set("wall_seconds", metrics.get("wall_seconds").mean());
+    cells.set(name, std::move(entry));
+  }
+  util::Json out = util::Json::object();
+  out.set("completed_runs", aggregate.completed_runs);
+  out.set("cells", std::move(cells));
+  util::Json instance = util::Json::object();
+  for (const std::string& metric :
+       {"broken_nodes", "broken_edges", "broken_total", "total_demand"}) {
+    instance.set(metric, aggregate.instance.get(metric).mean());
+  }
+  out.set("instance", std::move(instance));
+  return out;
+}
+
+/// Every non-wall aggregate equal, exactly — the determinism contract
+/// between two runs of the same sweep at different thread counts.
+bool aggregates_identical(const scenario::TimelineAggregate& a,
+                          const scenario::TimelineAggregate& b) {
+  if (a.cell_names != b.cell_names) return false;
+  if (a.completed_runs != b.completed_runs) return false;
+  for (const std::string& cell : a.cell_names) {
+    const auto& ma = a.per_cell.at(cell);
+    const auto& mb = b.per_cell.at(cell);
+    for (const std::string& metric : kAggregateMetrics) {
+      if (ma.get(metric).mean() != mb.get(metric).mean()) return false;
+      if (ma.get(metric).stddev() != mb.get(metric).stddev()) return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  util::Flags flags;
+  bench::declare_common_flags(flags, /*default_runs=*/6);
+  flags.define("json", "BENCH_recovery.json",
+               "write the policy x dynamics sweep and thread-scaling "
+               "record to this path");
+  flags.define("budget", "6", "repairs per stage (crew budget)");
+  flags.define("max-stages", "32",
+               "stage cap; also the AUC padding horizon");
+  flags.define("nodes", "100", "Erdos-Renyi node count");
+  flags.define("edge-prob", "0.05", "Erdos-Renyi edge probability");
+  flags.define("pairs", "4", "demand pairs per instance");
+  flags.define("flow", "3", "demand flow per pair");
+  flags.define("variance", "40",
+               "Gaussian variance of the ER family's initial disaster");
+  flags.define("aftershock-variance", "35",
+               "variance of the first aftershock");
+  flags.define("aftershock-decay", "0.5",
+               "aftershock variance decay per stage");
+  flags.define("aftershocks", "3", "aftershock count");
+  flags.define("overload", "0.3",
+               "cascade overload factor (load > factor * capacity breaks)");
+  if (!bench::parse_or_usage(flags, argc, argv)) return 0;
+
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes"));
+  const double edge_prob = flags.get_double("edge-prob");
+  const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
+  const double flow = flags.get_double("flow");
+  const double variance = flags.get_double("variance");
+
+  scenario::TimelineRunnerOptions options;
+  options.runs = static_cast<std::size_t>(flags.get_int("runs"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  options.require_feasible = true;
+  options.timeline.stage_budget =
+      static_cast<std::size_t>(flags.get_int("budget"));
+  options.timeline.max_stages =
+      static_cast<std::size_t>(flags.get_int("max-stages"));
+
+  const auto policies = make_policies();
+  const auto dynamics = make_dynamics(flags);
+
+  const scenario::ProblemFactory er_factory =
+      [nodes, edge_prob, pairs, flow, variance](util::Rng& rng) {
+        core::RecoveryProblem problem;
+        topology::ErdosRenyiOptions eopt;
+        eopt.nodes = nodes;
+        eopt.edge_probability = edge_prob;
+        eopt.capacity = 4.0 * flow;
+        std::size_t attempts = 0;
+        do {
+          problem.graph = topology::erdos_renyi(eopt, rng);
+        } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
+        util::Rng demand_rng = rng.fork();
+        problem.demands = scenario::far_apart_demands(problem.graph, pairs,
+                                                      flow, demand_rng);
+        disruption::GaussianDisasterOptions gopt;
+        gopt.variance = variance;
+        disruption::gaussian_disaster(problem.graph, gopt, rng);
+        return problem;
+      };
+  const scenario::ProblemFactory bell_factory = [pairs, flow](util::Rng& rng) {
+    core::RecoveryProblem problem;
+    problem.graph = topology::bell_canada_like();
+    problem.demands =
+        scenario::far_apart_demands(problem.graph, pairs, flow, rng);
+    disruption::complete_destruction(problem.graph);
+    return problem;
+  };
+
+  const std::string csv = flags.get("csv");
+  const std::string json_path = flags.get("json");
+  // Fail-fast preflight on every output destination.
+  const std::vector<std::string> csv_suffixes = {
+      ".er.auc.csv", ".er.final.csv", ".bell_canada.auc.csv",
+      ".bell_canada.final.csv"};
+  if (!csv.empty()) {
+    for (const auto& suffix : csv_suffixes) {
+      util::CsvWriter probe(csv + suffix);
+    }
+  }
+  if (!json_path.empty()) {
+    util::write_json_file(json_path, util::Json::object());
+  }
+
+  util::Json families = util::Json::object();
+  scenario::TimelineAggregate er_aggregate;
+  double er_seconds = 0.0;
+  const std::vector<
+      std::pair<std::string, const scenario::ProblemFactory*>>
+      family_list = {{"er", &er_factory}, {"bell_canada", &bell_factory}};
+  for (const auto& [family, factory] : family_list) {
+    util::Timer timer;
+    const auto aggregate =
+        scenario::run_timelines(*factory, policies, dynamics, options);
+    const double seconds = timer.elapsed_seconds();
+    const auto auc_matrix =
+        cell_matrix(aggregate, policies, dynamics, "restoration_auc", 6);
+    const auto final_matrix =
+        cell_matrix(aggregate, policies, dynamics, "final_pct", 6);
+    std::printf("\n== fig_recovery: %s — restoration AUC "
+                "(policy x dynamics, %zu runs, %.1fs) ==\n",
+                family.c_str(), aggregate.completed_runs, seconds);
+    print_cell_table(auc_matrix);
+    std::printf("\n== fig_recovery: %s — final restored %% ==\n",
+                family.c_str());
+    print_cell_table(final_matrix);
+    if (!csv.empty()) {
+      write_cell_csv(csv + "." + family + ".auc.csv", auc_matrix);
+      write_cell_csv(csv + "." + family + ".final.csv", final_matrix);
+    }
+    util::Json entry = aggregate_to_json(aggregate);
+    entry.set("wall_seconds", seconds);
+    families.set(family, std::move(entry));
+    if (family == "er") {
+      er_aggregate = aggregate;
+      er_seconds = seconds;
+    }
+  }
+
+  // Thread-scaling record: the ER sweep again at --threads 1, compared for
+  // bit-identical aggregates against the parallel run above.
+  const std::size_t resolved_threads =
+      util::ThreadPool::resolve_threads(options.threads);
+  util::Json scaling = util::Json::object();
+  scaling.set("threads", resolved_threads);
+  // Context for reading the speedup: worker threads beyond the hardware
+  // cannot buy wall time (a 1-core container records ~1x by construction;
+  // the identity check is what must hold everywhere).
+  scaling.set("hardware_threads",
+              static_cast<std::size_t>(std::max(
+                  1u, std::thread::hardware_concurrency())));
+  scaling.set("parallel_seconds", er_seconds);
+  if (resolved_threads > 1) {
+    scenario::TimelineRunnerOptions serial_options = options;
+    serial_options.threads = 1;
+    util::Timer timer;
+    const auto serial_aggregate = scenario::run_timelines(
+        er_factory, policies, dynamics, serial_options);
+    const double serial_seconds = timer.elapsed_seconds();
+    const bool identical =
+        aggregates_identical(er_aggregate, serial_aggregate);
+    const double speedup =
+        er_seconds > 0.0 ? serial_seconds / er_seconds : 0.0;
+    scaling.set("serial_seconds", serial_seconds);
+    scaling.set("speedup", speedup);
+    scaling.set("identical_aggregates", identical);
+    std::printf("\nthread scaling (er): %zu threads %.2fs vs 1 thread "
+                "%.2fs — %.2fx, aggregates %s\n",
+                resolved_threads, er_seconds, serial_seconds, speedup,
+                identical ? "identical" : "DIVERGED");
+    if (!identical) {
+      throw std::runtime_error(
+          "fig_recovery: aggregates diverged between thread counts — the "
+          "timeline sweep must be deterministic");
+    }
+  } else {
+    scaling.set("serial_seconds", er_seconds);
+    scaling.set("speedup", 1.0);
+    scaling.set("identical_aggregates", true);
+  }
+
+  if (!json_path.empty()) {
+    util::Json out = util::Json::object();
+    out.set("bench", "fig_recovery");
+    out.set("seed", static_cast<double>(options.seed));
+    out.set("runs", options.runs);
+    util::Json config = util::Json::object();
+    config.set("nodes", nodes);
+    config.set("edge_probability", edge_prob);
+    config.set("pairs", pairs);
+    config.set("flow", flow);
+    config.set("variance", variance);
+    config.set("stage_budget", options.timeline.stage_budget);
+    config.set("max_stages", options.timeline.max_stages);
+    config.set("aftershock_variance",
+               flags.get_double("aftershock-variance"));
+    config.set("aftershock_decay", flags.get_double("aftershock-decay"));
+    config.set("aftershocks", flags.get_int("aftershocks"));
+    config.set("overload_factor", flags.get_double("overload"));
+    out.set("config", std::move(config));
+    out.set("families", std::move(families));
+    out.set("scaling", std::move(scaling));
+    util::write_json_file(json_path, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

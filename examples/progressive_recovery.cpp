@@ -3,8 +3,12 @@
 // ISP decides what to repair; field crews need an order.  The
 // heuristics::schedule_repairs module orders the set so restored demand
 // front-loads (the objective of Wang, Qiao & Yu, INFOCOM 2011 — the paper's
-// ref. [32]), and this example prints the resulting restoration curve,
-// comparing it against executing the same repairs in plain list order.
+// ref. [32]).  This example runs that schedule through recovery::Timeline in
+// its degenerate one-shot configuration — a single stage with unlimited
+// crew budget and static dynamics, which the differential suite pins
+// bit-identical to executing the schedule by hand — and prints the
+// resulting restoration curve, comparing it against executing the same
+// repairs in plain list order.
 //
 //   $ ./progressive_recovery [--pairs 4] [--flow 10] [--seed 11]
 #include <cstdio>
@@ -32,53 +36,55 @@ int main(int argc, char** argv) {
       flags.get_double("flow"), rng);
   disruption::complete_destruction(problem.graph);
 
-  const core::RecoverySolution plan = core::IspSolver(problem).solve();
-  std::printf("ISP plan: %zu repairs for %.0f units of critical demand\n\n",
-              plan.total_repairs(), problem.total_demand());
+  // One-shot configuration: everything in stage 0, nothing evolves.
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 0;  // unlimited
+  recovery::StaticDynamics statics;
+  util::Rng timeline_rng(0);  // static runs consume no randomness
 
-  heuristics::ScheduleOptions sopt;
-  sopt.exact_scoring = true;
-  const auto schedule = heuristics::schedule_repairs(problem, plan, sopt);
+  recovery::ReplayOptions ropt;
+  ropt.schedule.exact_scoring = true;
+  recovery::ReplayPolicy policy(ropt);
+  const auto result =
+      recovery::Timeline(problem, policy, statics, topt).run(timeline_rng);
+  const auto restored = result.step_series();
+  std::vector<recovery::RepairAction> steps;
+  for (const auto& rec : result.stages) {
+    steps.insert(steps.end(), rec.repairs.begin(), rec.repairs.end());
+  }
+
+  std::printf("ISP plan: %zu repairs for %.0f units of critical demand\n\n",
+              policy.plan().total_repairs(), problem.total_demand());
 
   std::printf("%-6s %-34s %10s\n", "step", "intervention", "restored");
   double prev = 0.0;
-  for (std::size_t i = 0; i < schedule.steps.size(); ++i) {
-    const auto& step = schedule.steps[i];
-    const double pct = 100.0 * step.restored_after / problem.total_demand();
-    std::printf("%-6zu %-34s %9.1f%%%s\n", i + 1, step.label.c_str(), pct,
-                step.restored_after > prev + 1e-9 ? "  <-- service gain" : "");
-    prev = step.restored_after;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const double pct = 100.0 * restored[i] / problem.total_demand();
+    std::printf("%-6zu %-34s %9.1f%%%s\n", i + 1, steps[i].label.c_str(), pct,
+                restored[i] > prev + 1e-9 ? "  <-- service gain" : "");
+    prev = restored[i];
   }
 
   std::printf("\nschedule quality:\n");
   std::printf("  restoration AUC           %.3f (1.0 = instant)\n",
-              schedule.restoration_auc());
+              util::restoration_auc(restored, result.total_demand));
   std::printf("  steps to 50%% restored     %zu\n",
-              schedule.steps_to_restore(0.5));
+              util::steps_to_fraction(restored, result.total_demand, 0.5));
   std::printf("  steps to 100%% restored    %zu of %zu\n",
-              schedule.steps_to_restore(1.0), schedule.steps.size());
+              util::steps_to_fraction(restored, result.total_demand, 1.0),
+              restored.size());
 
   // Baseline: same repairs, plain list order (nodes then edges).
   {
-    core::RepairState state(problem.graph);
-    const auto cap = mcf::static_capacity(problem.graph);
-    double area = 0.0;
-    std::size_t steps = 0;
-    auto apply = [&](bool is_node, int id) {
-      if (is_node) {
-        state.repair_node(static_cast<graph::NodeId>(id));
-      } else {
-        state.repair_edge(static_cast<graph::EdgeId>(id));
-      }
-      const auto routed = mcf::max_routed_flow(
-          problem.graph, problem.demands, state.edge_filter(), cap);
-      area += routed.total_routed / problem.total_demand();
-      ++steps;
-    };
-    for (graph::NodeId n : plan.repaired_nodes) apply(true, n);
-    for (graph::EdgeId e : plan.repaired_edges) apply(false, e);
+    recovery::ReplayOptions lopt;
+    lopt.schedule_order = false;
+    recovery::ReplayPolicy list_policy(lopt);
+    const auto baseline =
+        recovery::Timeline(problem, list_policy, statics, topt)
+            .run(timeline_rng);
     std::printf("  list-order AUC (baseline) %.3f\n",
-                steps ? area / static_cast<double>(steps) : 1.0);
+                util::restoration_auc(baseline.step_series(),
+                                      baseline.total_demand));
   }
   return 0;
 }

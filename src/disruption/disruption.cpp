@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/dijkstra.hpp"
+#include "graph/view.hpp"
+
 namespace netrec::disruption {
 
 void complete_destruction(graph::Graph& g) { g.break_everything(); }
@@ -102,6 +105,59 @@ DisruptionReport random_failures(graph::Graph& g, double node_probability,
       edge.broken = true;
       ++report.broken_edges;
     }
+  }
+  return report;
+}
+
+AftershockProcess::AftershockProcess(AftershockOptions options)
+    : opt_(std::move(options)), variance_(opt_.first.variance) {}
+
+bool AftershockProcess::exhausted() const {
+  return fired_ >= opt_.max_shocks || variance_ < opt_.min_variance;
+}
+
+DisruptionReport AftershockProcess::next(graph::Graph& g, util::Rng& rng) {
+  if (exhausted()) return {};
+  GaussianDisasterOptions shock = opt_.first;
+  shock.variance = variance_;
+  const DisruptionReport report = gaussian_disaster(g, shock, rng);
+  variance_ *= opt_.decay;
+  ++fired_;
+  return report;
+}
+
+CascadeModel::CascadeModel(CascadeOptions options) : opt_(options) {}
+
+DisruptionReport CascadeModel::advance(
+    graph::Graph& g, const std::vector<mcf::Demand>& demands) {
+  DisruptionReport report;
+  if (demands.empty()) return report;
+  std::vector<double> load(g.num_edges(), 0.0);
+  for (std::size_t round = 0; round < opt_.max_rounds; ++round) {
+    // Working subgraph, unit hop lengths: the re-routing model, not the
+    // capacity-feasible referee.
+    const graph::GraphView view = graph::GraphView::working(g);
+    std::fill(load.begin(), load.end(), 0.0);
+    for (const mcf::Demand& d : demands) {
+      if (d.amount <= 0.0 || d.source == d.target) continue;
+      const auto path = graph::shortest_path(view, d.source, d.target);
+      if (!path) continue;  // demand cut off: no load contributed
+      for (graph::EdgeId e : path->edges) {
+        load[static_cast<std::size_t>(e)] += d.amount;
+      }
+    }
+    std::size_t broke = 0;
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      graph::Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
+      if (edge.broken) continue;
+      if (load[e] >
+          opt_.overload_factor * edge.capacity + opt_.tolerance) {
+        edge.broken = true;
+        ++broke;
+      }
+    }
+    if (broke == 0) break;
+    report.broken_edges += broke;
   }
   return report;
 }

@@ -14,10 +14,13 @@
 // DESIGN.md records this interpretation.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "graph/graph.hpp"
+#include "mcf/types.hpp"
 #include "util/rng.hpp"
 
 namespace netrec::disruption {
@@ -58,5 +61,86 @@ DisruptionReport random_failures(graph::Graph& g, double node_probability,
 
 /// Barycentre of the node coordinates (the paper's default epicentre).
 std::pair<double, double> barycenter(const graph::Graph& g);
+
+// --- recovery-time dynamics --------------------------------------------------
+//
+// The paper applies one disaster and plans once; the recovery::Timeline
+// engine keeps the disaster evolving while crews repair.  AftershockProcess
+// and CascadeModel are the two stochastic-process building blocks it plugs
+// in: a decaying sequence of gaussian_disaster draws (Omori-style magnitude
+// decay) and a capacity-overload cascade in the style of Motter & Lai,
+// where surviving traffic concentrates on the remaining edges and breaks
+// the overloaded ones.
+
+struct AftershockOptions {
+  /// Parameters of the first aftershock.  `first.variance` is the initial
+  /// magnitude; keep `first.reference_variance` fixed across the sequence
+  /// so a decaying variance also decays the failure-probability peak (the
+  /// gaussian_disaster scaling rule) — shocks shrink in both radius and
+  /// intensity.
+  GaussianDisasterOptions first;
+  /// Variance multiplier per shock (magnitude decay), in (0, 1].
+  double decay = 0.5;
+  /// The sequence ends after this many shocks...
+  std::size_t max_shocks = 3;
+  /// ...or earlier, once the decayed variance drops below this floor.
+  double min_variance = 1e-3;
+};
+
+/// A decaying-magnitude sequence of gaussian_disaster draws.  Each next()
+/// call applies one aftershock to the graph (failures accumulate; existing
+/// broken flags are never cleared) and decays the magnitude.  Stateful and
+/// single-sequence: construct one process per disaster scenario.
+class AftershockProcess {
+ public:
+  explicit AftershockProcess(AftershockOptions options = {});
+
+  /// True once the sequence has ended; next() is a no-op from then on.
+  bool exhausted() const;
+
+  /// Magnitude (variance) the next shock would use.
+  double current_variance() const { return variance_; }
+  std::size_t shocks_fired() const { return fired_; }
+
+  /// Applies the next aftershock; returns what broke (empty when
+  /// exhausted).
+  DisruptionReport next(graph::Graph& g, util::Rng& rng);
+
+ private:
+  AftershockOptions opt_;
+  double variance_ = 0.0;
+  std::size_t fired_ = 0;
+};
+
+struct CascadeOptions {
+  /// An edge breaks when its re-routed load exceeds
+  /// overload_factor * capacity (strictly, beyond `tolerance`).
+  double overload_factor = 1.0;
+  /// Re-route/break rounds per advance() call; the cascade usually settles
+  /// far earlier.
+  std::size_t max_rounds = 8;
+  double tolerance = 1e-9;
+};
+
+/// Capacity-overload cascade: each round routes every demand fully along
+/// its shortest operational path — capacity-*oblivious*, modelling traffic
+/// that concentrates on the surviving infrastructure instead of being
+/// admission-controlled — sums per-edge loads, and breaks every operational
+/// edge whose load exceeds overload_factor * capacity.  Broken edges force
+/// re-routing, which may overload further edges; rounds repeat until no
+/// edge breaks (or max_rounds).  Deterministic given graph and demands;
+/// only edges break (a broken edge is equipment overload, a node outage is
+/// not this model's failure mode).
+class CascadeModel {
+ public:
+  explicit CascadeModel(CascadeOptions options = {});
+
+  /// Runs the cascade to quiescence; returns the total breakage.
+  DisruptionReport advance(graph::Graph& g,
+                           const std::vector<mcf::Demand>& demands);
+
+ private:
+  CascadeOptions opt_;
+};
 
 }  // namespace netrec::disruption

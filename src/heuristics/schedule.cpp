@@ -7,27 +7,24 @@
 #include "graph/dijkstra.hpp"
 #include "graph/view_cache.hpp"
 #include "mcf/routing.hpp"
+#include "util/stats.hpp"
 
 namespace netrec::heuristics {
 
 double RecoverySchedule::restoration_auc() const {
-  if (steps.empty() || total_demand <= 0.0) return 1.0;
-  double area = 0.0;
-  for (const ScheduleStep& step : steps) {
-    area += step.restored_after / total_demand;
-  }
-  return area / static_cast<double>(steps.size());
+  return util::restoration_auc(restored_series(), total_demand);
 }
 
 std::size_t RecoverySchedule::steps_to_restore(double fraction) const {
-  const double target = fraction * total_demand - 1e-9;
-  for (std::size_t i = 0; i < steps.size(); ++i) {
-    if (steps[i].restored_after >= target) return i + 1;
-  }
-  return steps.size() + 1;
+  return util::steps_to_fraction(restored_series(), total_demand, fraction);
 }
 
-namespace {
+std::vector<double> RecoverySchedule::restored_series() const {
+  std::vector<double> series;
+  series.reserve(steps.size());
+  for (const ScheduleStep& step : steps) series.push_back(step.restored_after);
+  return series;
+}
 
 std::string node_label(const graph::Graph& g, graph::NodeId n) {
   return "site " + (g.node(n).name.empty() ? std::to_string(n)
@@ -41,8 +38,6 @@ std::string edge_label(const graph::Graph& g, graph::EdgeId e) {
   };
   return "link " + name(edge.u) + " - " + name(edge.v);
 }
-
-}  // namespace
 
 RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
                                   const core::RecoverySolution& solution,

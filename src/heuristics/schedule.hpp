@@ -33,13 +33,22 @@ struct RecoverySchedule {
 
   /// Area-under-curve of restored demand over steps, normalised to [0, 1];
   /// 1 means everything restored instantly (the Wang et al. objective,
-  /// with unit-time repairs).
+  /// with unit-time repairs).  Computed by util::restoration_auc.
   double restoration_auc() const;
 
   /// Steps needed to restore `fraction` of the demand (steps.size()+1 when
-  /// never reached).
+  /// never reached).  Computed by util::steps_to_fraction.
   std::size_t steps_to_restore(double fraction) const;
+
+  /// The restored-demand series, one entry per step (the input the
+  /// util::stats time-series helpers consume).
+  std::vector<double> restored_series() const;
 };
+
+/// Human-readable repair labels ("site X" / "link X - Y"), shared by the
+/// scheduler and the recovery::Timeline policies.
+std::string node_label(const graph::Graph& g, graph::NodeId n);
+std::string edge_label(const graph::Graph& g, graph::EdgeId e);
 
 struct ScheduleOptions {
   /// Score candidate prefixes with the exact LP referee; the default uses

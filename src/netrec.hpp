@@ -34,8 +34,12 @@
 #include "mcf/routing.hpp"
 #include "mcf/split.hpp"
 #include "mcf/types.hpp"
+#include "recovery/dynamics.hpp"
+#include "recovery/policies.hpp"
+#include "recovery/timeline.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
+#include "scenario/timeline_runner.hpp"
 #include "steiner/steiner.hpp"
 #include "topology/topologies.hpp"
 #include "util/json.hpp"

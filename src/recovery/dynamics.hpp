@@ -1,0 +1,74 @@
+// Dynamics processes for recovery::Timeline.
+//
+// Thin adapters binding the disruption-layer stochastic processes to the
+// engine's Dynamics contract:
+//
+//   * StaticDynamics     — the no-op: the disaster happened once, before
+//                          the timeline started.  Reproduces the one-shot
+//                          pipeline's behaviour exactly.
+//   * AftershockDynamics — disruption::AftershockProcess: a decaying-
+//                          magnitude sequence of gaussian_disaster draws,
+//                          one per stage, until the sequence exhausts.
+//   * CascadeDynamics    — disruption::CascadeModel: after every stage's
+//                          repairs, traffic re-routes onto the surviving
+//                          (and freshly repaired) edges and overloaded
+//                          edges break — repairs couple back into the
+//                          failure process.  Reactive, hence always
+//                          "exhausted": with no repairs the last advance
+//                          left it stable.
+#pragma once
+
+#include "disruption/disruption.hpp"
+#include "recovery/timeline.hpp"
+
+namespace netrec::recovery {
+
+class StaticDynamics : public Dynamics {
+ public:
+  std::string name() const override { return "static"; }
+  disruption::DisruptionReport advance(graph::Graph& /*g*/,
+                                       const std::vector<mcf::Demand>&,
+                                       std::size_t /*stage*/,
+                                       util::Rng& /*rng*/) override {
+    return {};
+  }
+  bool exhausted() const override { return true; }
+};
+
+class AftershockDynamics : public Dynamics {
+ public:
+  explicit AftershockDynamics(disruption::AftershockOptions options = {})
+      : process_(options) {}
+  std::string name() const override { return "aftershock"; }
+  disruption::DisruptionReport advance(graph::Graph& g,
+                                       const std::vector<mcf::Demand>&,
+                                       std::size_t /*stage*/,
+                                       util::Rng& rng) override {
+    return process_.next(g, rng);
+  }
+  bool exhausted() const override { return process_.exhausted(); }
+
+  const disruption::AftershockProcess& process() const { return process_; }
+
+ private:
+  disruption::AftershockProcess process_;
+};
+
+class CascadeDynamics : public Dynamics {
+ public:
+  explicit CascadeDynamics(disruption::CascadeOptions options = {})
+      : model_(options) {}
+  std::string name() const override { return "cascade"; }
+  disruption::DisruptionReport advance(graph::Graph& g,
+                                       const std::vector<mcf::Demand>& demands,
+                                       std::size_t /*stage*/,
+                                       util::Rng& /*rng*/) override {
+    return model_.advance(g, demands);
+  }
+  bool exhausted() const override { return true; }
+
+ private:
+  disruption::CascadeModel model_;
+};
+
+}  // namespace netrec::recovery

@@ -1,0 +1,187 @@
+#include "recovery/policies.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/betweenness.hpp"
+
+namespace netrec::recovery {
+
+namespace {
+
+RepairAction node_action(const graph::Graph& g, graph::NodeId n) {
+  RepairAction action;
+  action.is_node = true;
+  action.node = n;
+  action.label = heuristics::node_label(g, n);
+  return action;
+}
+
+RepairAction edge_action(const graph::Graph& g, graph::EdgeId e) {
+  RepairAction action;
+  action.is_node = false;
+  action.edge = e;
+  action.label = heuristics::edge_label(g, e);
+  return action;
+}
+
+RepairAction step_action(const heuristics::ScheduleStep& step) {
+  RepairAction action;
+  action.is_node = step.is_node;
+  action.node = step.node;
+  action.edge = step.edge;
+  action.label = step.label;
+  return action;
+}
+
+/// All currently broken elements, nodes first, id order.
+std::vector<RepairAction> broken_in_list_order(const graph::Graph& g) {
+  std::vector<RepairAction> out;
+  for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+    const auto id = static_cast<graph::NodeId>(n);
+    if (g.node(id).broken) out.push_back(node_action(g, id));
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const auto id = static_cast<graph::EdgeId>(e);
+    if (g.edge(id).broken) out.push_back(edge_action(g, id));
+  }
+  return out;
+}
+
+void truncate_to_budget(std::vector<RepairAction>& actions,
+                        std::size_t budget) {
+  if (actions.size() > budget) actions.resize(budget);
+}
+
+}  // namespace
+
+// --- ReplayPolicy ------------------------------------------------------------
+
+ReplayPolicy::ReplayPolicy(ReplayOptions options) : opt_(std::move(options)) {}
+
+std::string ReplayPolicy::name() const {
+  return opt_.schedule_order ? "replay" : "replay-list";
+}
+
+std::vector<RepairAction> ReplayPolicy::plan_stage(
+    const core::RecoveryProblem& problem, std::size_t /*stage*/,
+    std::size_t budget, util::Rng& /*rng*/) {
+  if (!planned_) {
+    planned_ = true;
+    plan_ = core::IspSolver(problem, opt_.isp).solve();
+    if (opt_.schedule_order) {
+      schedule_ = heuristics::schedule_repairs(problem, plan_, opt_.schedule);
+      queue_.reserve(schedule_.steps.size());
+      for (const heuristics::ScheduleStep& step : schedule_.steps) {
+        queue_.push_back(step_action(step));
+      }
+    } else {
+      queue_.reserve(plan_.total_repairs());
+      for (graph::NodeId n : plan_.repaired_nodes) {
+        queue_.push_back(node_action(problem.graph, n));
+      }
+      for (graph::EdgeId e : plan_.repaired_edges) {
+        queue_.push_back(edge_action(problem.graph, e));
+      }
+    }
+  }
+  std::vector<RepairAction> out;
+  while (next_ < queue_.size() && out.size() < budget) {
+    out.push_back(queue_[next_++]);
+  }
+  return out;
+}
+
+// --- ReplanPolicy ------------------------------------------------------------
+
+ReplanPolicy::ReplanPolicy(ReplanOptions options) : opt_(std::move(options)) {}
+
+std::vector<RepairAction> ReplanPolicy::plan_stage(
+    const core::RecoveryProblem& problem, std::size_t /*stage*/,
+    std::size_t budget, util::Rng& /*rng*/) {
+  // Fresh one-shot solve on the current damage: ISP terminates immediately
+  // (empty plan) once the demand routes on the working subgraph.
+  const core::RecoverySolution plan =
+      core::IspSolver(problem, opt_.isp).solve();
+  if (plan.total_repairs() == 0) return {};
+  const heuristics::RecoverySchedule schedule =
+      heuristics::schedule_repairs(problem, plan, opt_.schedule);
+  std::vector<RepairAction> out;
+  out.reserve(std::min<std::size_t>(budget, schedule.steps.size()));
+  for (const heuristics::ScheduleStep& step : schedule.steps) {
+    if (out.size() >= budget) break;
+    out.push_back(step_action(step));
+  }
+  return out;
+}
+
+// --- BetweennessGreedyPolicy -------------------------------------------------
+
+std::vector<RepairAction> BetweennessGreedyPolicy::plan_stage(
+    const core::RecoveryProblem& problem, std::size_t /*stage*/,
+    std::size_t budget, util::Rng& /*rng*/) {
+  const graph::Graph& g = problem.graph;
+  if (!scored_) {
+    scored_ = true;
+    scores_ = graph::betweenness_centrality(
+        g, [](graph::EdgeId) { return 1.0; });
+  }
+  auto node_score = [this](graph::NodeId n) {
+    return scores_[static_cast<std::size_t>(n)];
+  };
+  struct Scored {
+    double score;
+    RepairAction action;
+  };
+  std::vector<Scored> candidates;
+  for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+    const auto id = static_cast<graph::NodeId>(n);
+    if (!g.node(id).broken) continue;
+    candidates.push_back({node_score(id), node_action(g, id)});
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const auto id = static_cast<graph::EdgeId>(e);
+    const graph::Edge& edge = g.edge(id);
+    if (!edge.broken) continue;
+    const double score = 0.5 * (node_score(edge.u) + node_score(edge.v));
+    candidates.push_back({score, edge_action(g, id)});
+  }
+  // Stable: ties settle nodes-then-edges in id order (the insertion order).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<RepairAction> out;
+  for (Scored& c : candidates) {
+    if (out.size() >= budget) break;
+    out.push_back(std::move(c.action));
+  }
+  return out;
+}
+
+// --- ListOrderPolicy ---------------------------------------------------------
+
+std::vector<RepairAction> ListOrderPolicy::plan_stage(
+    const core::RecoveryProblem& problem, std::size_t /*stage*/,
+    std::size_t budget, util::Rng& /*rng*/) {
+  std::vector<RepairAction> out = broken_in_list_order(problem.graph);
+  truncate_to_budget(out, budget);
+  return out;
+}
+
+// --- RandomPolicy ------------------------------------------------------------
+
+std::vector<RepairAction> RandomPolicy::plan_stage(
+    const core::RecoveryProblem& problem, std::size_t /*stage*/,
+    std::size_t budget, util::Rng& rng) {
+  const std::vector<RepairAction> broken =
+      broken_in_list_order(problem.graph);
+  const std::size_t take = std::min(budget, broken.size());
+  const auto picks = rng.sample_without_replacement(broken.size(), take);
+  std::vector<RepairAction> out;
+  out.reserve(take);
+  for (std::size_t index : picks) out.push_back(broken[index]);
+  return out;
+}
+
+}  // namespace netrec::recovery

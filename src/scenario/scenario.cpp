@@ -78,29 +78,15 @@ void record_solution(const core::RecoverySolution& solution,
   metrics.add("wall_seconds", solution.wall_seconds);
 }
 
-namespace {
-
-// Odd multiplier (golden-ratio constant) decorrelating per-algorithm streams
-// derived from one run seed; Rng's SplitMix64 seeding scrambles the rest.
-constexpr std::uint64_t kAlgoSalt = 0x9e3779b97f4a7c15ULL;
-
-struct RunSlot {
-  core::RecoveryProblem problem;
-  bool ok = false;
-};
-
-/// Builds one run's problem, redrawing infeasible instances.  Every attempt
-/// forks a child stream from the run's own seed, so the result depends only
-/// on (run_seed, options) — never on which thread executes the build.
-RunSlot build_run(const ProblemFactory& factory, const RunnerOptions& options,
-                  std::size_t run, std::uint64_t run_seed) {
+BuiltRun build_run(const ProblemFactory& factory, bool require_feasible,
+                   std::size_t max_redraws, std::size_t run,
+                   std::uint64_t run_seed) {
   util::Rng run_master(run_seed);
-  RunSlot slot;
-  for (std::size_t attempt = 0; attempt <= options.max_redraws; ++attempt) {
+  BuiltRun slot;
+  for (std::size_t attempt = 0; attempt <= max_redraws; ++attempt) {
     util::Rng attempt_rng = run_master.fork();
     slot.problem = factory(attempt_rng);
-    if (!options.require_feasible ||
-        slot.problem.feasible_when_fully_repaired()) {
+    if (!require_feasible || slot.problem.feasible_when_fully_repaired()) {
       slot.ok = true;
       return slot;
     }
@@ -108,6 +94,12 @@ RunSlot build_run(const ProblemFactory& factory, const RunnerOptions& options,
   NETREC_LOG(kWarn) << "run " << run << ": no feasible draw found; skipping";
   return slot;
 }
+
+namespace {
+
+// Odd multiplier (golden-ratio constant) decorrelating per-algorithm streams
+// derived from one run seed; Rng's SplitMix64 seeding scrambles the rest.
+constexpr std::uint64_t kAlgoSalt = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
 
@@ -122,12 +114,13 @@ AggregateResult run_experiment(
   std::vector<std::uint64_t> run_seeds(options.runs);
   for (auto& seed : run_seeds) seed = master.next();
 
-  std::vector<RunSlot> slots(options.runs);
+  std::vector<BuiltRun> slots(options.runs);
   const std::size_t num_algorithms = algorithms.size();
   std::vector<core::RecoverySolution> solutions(options.runs * num_algorithms);
 
   const auto build = [&](std::size_t run) {
-    slots[run] = build_run(factory, options, run, run_seeds[run]);
+    slots[run] = build_run(factory, options.require_feasible,
+                           options.max_redraws, run, run_seeds[run]);
   };
   const auto solve = [&](std::size_t task) {
     const std::size_t run = task / num_algorithms;

@@ -83,6 +83,22 @@ struct AggregateResult {
   std::size_t completed_runs = 0;
 };
 
+/// One run's constructed problem (ok == false when no feasible draw was
+/// found within the redraw budget).
+struct BuiltRun {
+  core::RecoveryProblem problem;
+  bool ok = false;
+};
+
+/// Builds one run's problem from its fixed seed, redrawing instances that
+/// are infeasible even under full repair (when `require_feasible`).  Every
+/// attempt forks a child stream from the run's own seed, so the result
+/// depends only on (run_seed, arguments) — never on which thread executes
+/// the build.  Shared by run_experiment and run_timelines.
+BuiltRun build_run(const ProblemFactory& factory, bool require_feasible,
+                   std::size_t max_redraws, std::size_t run,
+                   std::uint64_t run_seed);
+
 /// Runs every algorithm on `runs` seeded instances and aggregates metrics.
 /// Problem construction is parallel over runs, solving is parallel over the
 /// runs x algorithms matrix; results are deterministic per master seed.

@@ -5,6 +5,47 @@
 
 namespace netrec::util {
 
+namespace {
+
+// std::stoi / std::stod accept trailing garbage ("7x" -> 7) and the sweep
+// scripts these flags drive must fail loudly on typos instead, so both
+// parsers insist the whole value was consumed.
+
+int parse_int_strict(const std::string& name, const std::string& value) {
+  std::size_t consumed = 0;
+  int out = 0;
+  try {
+    out = std::stoi(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got '" + value + "'");
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got '" + value +
+                                "' (trailing garbage)");
+  }
+  return out;
+}
+
+double parse_double_strict(const std::string& name, const std::string& value) {
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                value + "'");
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                value + "' (trailing garbage)");
+  }
+  return out;
+}
+
+}  // namespace
+
 void Flags::define(const std::string& name, const std::string& default_value,
                    const std::string& help) {
   specs_[name] = Spec{default_value, help};
@@ -50,22 +91,11 @@ std::string Flags::get(const std::string& name) const {
 }
 
 int Flags::get_int(const std::string& name) const {
-  try {
-    return std::stoi(get(name));
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name +
-                                " expects an integer, got '" + get(name) +
-                                "'");
-  }
+  return parse_int_strict(name, get(name));
 }
 
 double Flags::get_double(const std::string& name) const {
-  try {
-    return std::stod(get(name));
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
-                                get(name) + "'");
-  }
+  return parse_double_strict(name, get(name));
 }
 
 bool Flags::get_bool(const std::string& name) const {
@@ -78,7 +108,7 @@ std::vector<double> Flags::get_double_list(const std::string& name) const {
   std::stringstream ss(get(name));
   std::string tok;
   while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(std::stod(tok));
+    if (!tok.empty()) out.push_back(parse_double_strict(name, tok));
   }
   return out;
 }

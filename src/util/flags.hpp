@@ -23,11 +23,15 @@ class Flags {
   bool parse(int argc, const char* const* argv);
 
   std::string get(const std::string& name) const;
+  /// Strict numeric accessors: the whole value must parse (empty values and
+  /// trailing garbage like "7x" or "1.5 " throw std::invalid_argument
+  /// instead of silently truncating).
   int get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
-  /// Comma-separated list of doubles, e.g. "--sweep 2,4,6".
+  /// Comma-separated list of doubles, e.g. "--sweep 2,4,6"; every element
+  /// is parsed strictly (see get_double), empty elements are skipped.
   std::vector<double> get_double_list(const std::string& name) const;
 
   std::string usage(const std::string& program) const;

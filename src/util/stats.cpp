@@ -49,6 +49,22 @@ void RunningStats::merge(const RunningStats& other) {
   n_ += other.n_;
 }
 
+double restoration_auc(const std::vector<double>& restored, double total) {
+  if (restored.empty() || total <= 0.0) return 1.0;
+  double area = 0.0;
+  for (double x : restored) area += x / total;
+  return area / static_cast<double>(restored.size());
+}
+
+std::size_t steps_to_fraction(const std::vector<double>& restored,
+                              double total, double fraction) {
+  const double target = fraction * total - 1e-9;
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    if (restored[i] >= target) return i + 1;
+  }
+  return restored.size() + 1;
+}
+
 void MetricSet::add(const std::string& metric, double value) {
   metrics_[metric].add(value);
 }

@@ -40,6 +40,25 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+// --- restoration time series -----------------------------------------------
+//
+// Shared by heuristics::RecoverySchedule (restored demand per repair step)
+// and recovery::Timeline (routed demand per stage): both measure how fast a
+// repair process brings service back, with unit-time steps (the objective of
+// Wang, Qiao & Yu, INFOCOM 2011).
+
+/// Area under the restoration curve, normalised to [0, 1]: the mean of
+/// restored[i] / total over the series.  1 means everything was restored
+/// instantly.  An empty series or non-positive total scores 1 (nothing to
+/// restore counts as instantly restored).
+double restoration_auc(const std::vector<double>& restored, double total);
+
+/// Steps until `fraction` of `total` is restored: 1-based index of the
+/// first entry reaching fraction * total (within 1e-9 slack);
+/// restored.size() + 1 when the series never gets there.
+std::size_t steps_to_fraction(const std::vector<double>& restored,
+                              double total, double fraction);
+
 /// A named collection of RunningStats, keyed by metric name.  Each bench
 /// data point (e.g. "x=4 pairs") keeps one MetricSet across runs.
 class MetricSet {

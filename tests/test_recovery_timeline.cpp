@@ -1,0 +1,646 @@
+// recovery::Timeline differential harness and engine semantics.
+//
+// The load-bearing suites:
+//   * TimelineDifferential* — the engine in its degenerate one-shot
+//     configuration (single stage, unlimited budget, static dynamics,
+//     replay policy) must reproduce the one-shot IspSolver +
+//     schedule_repairs pipeline bit-identically: same repair order, same
+//     per-step routed demand, for both measurement backends
+//     (LpReuse::kNone one-shot reference and the kSession default).
+//   * TimelineSessionDifferential — kSession vs kNone under *evolving*
+//     dynamics (aftershocks, cascades, scripted re-breaks of repaired
+//     elements): the persistent session's warm reuse across disruption
+//     events — including the epoch-bump reset on non-monotone revival —
+//     must not change any recorded number.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/isp.hpp"
+#include "disruption/disruption.hpp"
+#include "graph/traversal.hpp"
+#include "heuristics/schedule.hpp"
+#include "recovery/dynamics.hpp"
+#include "recovery/policies.hpp"
+#include "recovery/timeline.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/timeline_runner.hpp"
+#include "topology/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netrec;
+
+/// Broken connected-ish ER instance with far-apart demands (the ISP
+/// differential harness's construction).
+core::RecoveryProblem er_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 104729 + 13);
+  core::RecoveryProblem p;
+  topology::ErdosRenyiOptions eopt;
+  eopt.nodes = 24;
+  eopt.edge_probability = 0.18;
+  eopt.capacity = 10.0;
+  std::size_t attempts = 0;
+  do {
+    p.graph = topology::erdos_renyi(eopt, rng);
+  } while (graph::hop_diameter(p.graph) < 0 && ++attempts < 50);
+  util::Rng demand_rng = rng.fork();
+  p.demands = scenario::far_apart_demands(p.graph, 3, 4.0, demand_rng);
+  for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+    if (rng.chance(0.55)) {
+      p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+    }
+  }
+  for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
+    if (rng.chance(0.6)) {
+      p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+    }
+  }
+  return p;
+}
+
+/// Bell-Canada under regional or complete destruction.
+core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 7907 + 5);
+  core::RecoveryProblem p;
+  p.graph = topology::bell_canada_like();
+  util::Rng demand_rng = rng.fork();
+  p.demands = scenario::far_apart_demands(p.graph, 4, 3.0, demand_rng);
+  if (seed % 2 == 0) {
+    disruption::complete_destruction(p.graph);
+  } else {
+    for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+      if (rng.chance(0.5)) {
+        p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+      }
+    }
+    for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
+      if (rng.chance(0.5)) {
+        p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+      }
+    }
+  }
+  return p;
+}
+
+/// Timeline in the one-shot configuration with the given replay policy.
+recovery::TimelineResult run_one_shot(const core::RecoveryProblem& problem,
+                                      mcf::LpReuse lp_reuse,
+                                      recovery::ReplayPolicy& policy) {
+  recovery::StaticDynamics statics;
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 0;  // unlimited
+  topt.lp_reuse = lp_reuse;
+  util::Rng rng(0);
+  return recovery::Timeline(problem, policy, statics, topt).run(rng);
+}
+
+void expect_matches_schedule(const core::RecoveryProblem& problem,
+                             mcf::LpReuse lp_reuse,
+                             const std::string& label) {
+  SCOPED_TRACE(label);
+  // Reference: the one-shot pipeline, executed by hand.
+  const core::RecoverySolution plan = core::IspSolver(problem).solve();
+  heuristics::ScheduleOptions sopt;
+  sopt.exact_scoring = true;
+  const auto schedule = heuristics::schedule_repairs(problem, plan, sopt);
+
+  recovery::ReplayOptions ropt;
+  ropt.schedule.exact_scoring = true;
+  recovery::ReplayPolicy policy(ropt);
+  const auto result = run_one_shot(problem, lp_reuse, policy);
+
+  // Single stage executed everything; nothing evolved.
+  if (!schedule.steps.empty()) {
+    ASSERT_EQ(result.stages.size(), 1u);
+    EXPECT_EQ(result.stages[0].shock.total(), 0u);
+  }
+  EXPECT_EQ(result.total_repairs, schedule.steps.size());
+  EXPECT_EQ(policy.plan().repaired_nodes, plan.repaired_nodes);
+  EXPECT_EQ(policy.plan().repaired_edges, plan.repaired_edges);
+
+  // Repair order: the schedule's, step for step.
+  std::vector<recovery::RepairAction> executed;
+  for (const auto& rec : result.stages) {
+    executed.insert(executed.end(), rec.repairs.begin(), rec.repairs.end());
+  }
+  ASSERT_EQ(executed.size(), schedule.steps.size());
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    EXPECT_EQ(executed[i].is_node, schedule.steps[i].is_node) << "step " << i;
+    EXPECT_EQ(executed[i].node, schedule.steps[i].node) << "step " << i;
+    EXPECT_EQ(executed[i].edge, schedule.steps[i].edge) << "step " << i;
+    EXPECT_EQ(executed[i].label, schedule.steps[i].label) << "step " << i;
+  }
+
+  // Per-step routed demand, exact equality (the engine's measurement and
+  // the schedule's exact scoring must be the same LP verdicts).
+  const auto restored = result.step_series();
+  const auto reference = schedule.restored_series();
+  ASSERT_EQ(restored.size(), reference.size());
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i], reference[i]) << "step " << i;
+  }
+
+  // Derived statistics flow through the same shared helpers.
+  EXPECT_EQ(util::restoration_auc(restored, result.total_demand),
+            schedule.restoration_auc());
+  EXPECT_EQ(util::steps_to_fraction(restored, result.total_demand, 0.5),
+            schedule.steps_to_restore(0.5));
+}
+
+class TimelineDifferentialEr : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineDifferentialEr, OneShotConfigMatchesSchedulePipeline) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto problem = er_scenario(seed);
+  expect_matches_schedule(problem, mcf::LpReuse::kNone,
+                          "er seed " + std::to_string(seed) + " / one-shot");
+  expect_matches_schedule(problem, mcf::LpReuse::kSession,
+                          "er seed " + std::to_string(seed) + " / session");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineDifferentialEr,
+                         ::testing::Range(1, 9));
+
+class TimelineDifferentialBellCanada : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(TimelineDifferentialBellCanada, OneShotConfigMatchesSchedulePipeline) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto problem = bell_canada_scenario(seed);
+  expect_matches_schedule(
+      problem, mcf::LpReuse::kNone,
+      "bell-canada seed " + std::to_string(seed) + " / one-shot");
+  expect_matches_schedule(
+      problem, mcf::LpReuse::kSession,
+      "bell-canada seed " + std::to_string(seed) + " / session");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineDifferentialBellCanada,
+                         ::testing::Range(1, 6));
+
+// --- kSession vs kNone under evolving dynamics ------------------------------
+
+void expect_lp_reuse_agrees(const core::RecoveryProblem& problem,
+                            const std::function<std::unique_ptr<
+                                recovery::Policy>()>& policy_factory,
+                            const std::function<std::unique_ptr<
+                                recovery::Dynamics>()>& dynamics_factory,
+                            recovery::TimelineOptions topt,
+                            std::uint64_t rng_seed, const std::string& label) {
+  SCOPED_TRACE(label);
+  recovery::TimelineResult results[2];
+  const mcf::LpReuse modes[2] = {mcf::LpReuse::kSession, mcf::LpReuse::kNone};
+  for (int m = 0; m < 2; ++m) {
+    auto policy = policy_factory();
+    auto dynamics = dynamics_factory();
+    topt.lp_reuse = modes[m];
+    util::Rng rng(rng_seed);
+    results[m] =
+        recovery::Timeline(problem, *policy, *dynamics, topt).run(rng);
+  }
+  const auto& session = results[0];
+  const auto& one_shot = results[1];
+  EXPECT_EQ(session.initial_routed, one_shot.initial_routed);
+  EXPECT_EQ(session.final_routed, one_shot.final_routed);
+  EXPECT_EQ(session.total_repairs, one_shot.total_repairs);
+  EXPECT_EQ(session.total_repair_cost, one_shot.total_repair_cost);
+  EXPECT_EQ(session.shock_breaks, one_shot.shock_breaks);
+  ASSERT_EQ(session.stages.size(), one_shot.stages.size());
+  for (std::size_t s = 0; s < session.stages.size(); ++s) {
+    const auto& a = session.stages[s];
+    const auto& b = one_shot.stages[s];
+    SCOPED_TRACE("stage " + std::to_string(s));
+    ASSERT_EQ(a.repairs.size(), b.repairs.size());
+    for (std::size_t i = 0; i < a.repairs.size(); ++i) {
+      EXPECT_EQ(a.repairs[i].is_node, b.repairs[i].is_node);
+      EXPECT_EQ(a.repairs[i].node, b.repairs[i].node);
+      EXPECT_EQ(a.repairs[i].edge, b.repairs[i].edge);
+    }
+    EXPECT_EQ(a.routed_after, b.routed_after);
+    EXPECT_EQ(a.routed_end, b.routed_end);
+    EXPECT_EQ(a.shock.broken_nodes, b.shock.broken_nodes);
+    EXPECT_EQ(a.shock.broken_edges, b.shock.broken_edges);
+    EXPECT_EQ(a.repair_cost, b.repair_cost);
+  }
+}
+
+recovery::TimelineOptions evolving_options() {
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 3;
+  topt.max_stages = 32;
+  return topt;
+}
+
+std::unique_ptr<recovery::Dynamics> make_aftershocks() {
+  disruption::AftershockOptions opts;
+  opts.first.variance = 40.0;
+  opts.decay = 0.5;
+  opts.max_shocks = 3;
+  return std::make_unique<recovery::AftershockDynamics>(opts);
+}
+
+std::unique_ptr<recovery::Dynamics> make_cascade() {
+  // Tight overload factor so the 3-4 unit demand flows overload the
+  // ER/Bell-Canada capacities and the cascade actually fires.
+  disruption::CascadeOptions opts;
+  opts.overload_factor = 0.15;
+  return std::make_unique<recovery::CascadeDynamics>(opts);
+}
+
+class TimelineSessionDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineSessionDifferential, SessionMatchesOneShotUnderDynamics) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto make_replan = [] {
+    return std::make_unique<recovery::ReplanPolicy>();
+  };
+  const auto make_list = [] {
+    return std::make_unique<recovery::ListOrderPolicy>();
+  };
+  {
+    const auto problem = er_scenario(seed + 40);
+    expect_lp_reuse_agrees(problem, make_replan, make_aftershocks,
+                           evolving_options(), seed * 31 + 7,
+                           "er seed " + std::to_string(seed + 40) +
+                               " / replan+aftershock");
+    expect_lp_reuse_agrees(problem, make_list, make_cascade,
+                           evolving_options(), seed * 31 + 7,
+                           "er seed " + std::to_string(seed + 40) +
+                               " / list+cascade");
+  }
+  {
+    const auto problem = bell_canada_scenario(seed + 40);
+    expect_lp_reuse_agrees(problem, make_replan, make_cascade,
+                           evolving_options(), seed * 17 + 3,
+                           "bell-canada seed " + std::to_string(seed + 40) +
+                               " / replan+cascade");
+    expect_lp_reuse_agrees(problem, make_list, make_aftershocks,
+                           evolving_options(), seed * 17 + 3,
+                           "bell-canada seed " + std::to_string(seed + 40) +
+                               " / list+aftershock");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineSessionDifferential,
+                         ::testing::Range(1, 4));
+
+// --- non-monotone revival: the scripted re-break torture test ---------------
+
+/// Breaks a scripted set of elements at given stages — deterministic
+/// dynamics for exercising the repair → break → repair-again cycle the
+/// session's monotone column pool cannot represent without a reset.
+class ScriptedDynamics : public recovery::Dynamics {
+ public:
+  struct Event {
+    std::size_t stage;
+    bool is_node;
+    int id;
+  };
+  explicit ScriptedDynamics(std::vector<Event> events)
+      : events_(std::move(events)) {}
+  std::string name() const override { return "scripted"; }
+  disruption::DisruptionReport advance(graph::Graph& g,
+                                       const std::vector<mcf::Demand>&,
+                                       std::size_t stage,
+                                       util::Rng&) override {
+    disruption::DisruptionReport report;
+    for (const Event& event : events_) {
+      if (event.stage != stage) continue;
+      if (event.is_node) {
+        auto& node = g.node(static_cast<graph::NodeId>(event.id));
+        if (!node.broken) {
+          node.broken = true;
+          ++report.broken_nodes;
+        }
+      } else {
+        auto& edge = g.edge(static_cast<graph::EdgeId>(event.id));
+        if (!edge.broken) {
+          edge.broken = true;
+          ++report.broken_edges;
+        }
+      }
+    }
+    next_stage_ = stage + 1;
+    return report;
+  }
+  bool exhausted() const override {
+    for (const Event& event : events_) {
+      if (event.stage >= next_stage_) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::size_t next_stage_ = 0;  ///< first stage whose events have not fired
+};
+
+TEST(TimelineRevival, RepairedEdgeRebrokenAndRepairedAgainStaysExact) {
+  // s - a - t in series (both edges broken initially) plus a broken 3-hop
+  // detour; demand s->t.  Script: the stage after an edge of the short
+  // path is repaired, break it again — the repair of the *same* edge later
+  // revives a session-dead path, which must trigger the engine's epoch
+  // reset rather than a stale dead-column verdict.
+  core::RecoveryProblem problem;
+  auto& g = problem.graph;
+  const auto s = g.add_node("s");
+  const auto a = g.add_node("a");
+  const auto t = g.add_node("t");
+  const auto d1 = g.add_node("d1");
+  const auto d2 = g.add_node("d2");
+  const auto sa = g.add_edge(s, a, 10.0);
+  const auto at = g.add_edge(a, t, 10.0);
+  g.add_edge(s, d1, 10.0);
+  g.add_edge(d1, d2, 10.0);
+  g.add_edge(d2, t, 10.0);
+  disruption::complete_destruction(g);
+  for (const auto n : {s, a, t, d1, d2}) g.node(n).broken = false;
+  problem.demands = {{s, t, 5.0}};
+
+  // List order repairs sa then at (stages 0 and 1, budget 1); the script
+  // re-breaks sa after stage 1, so stage 2 repairs it again (sa has the
+  // lowest edge id among the broken), then the detour edges follow.
+  ScriptedDynamics::Event rebreak{1, false, static_cast<int>(sa)};
+
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 1;
+  recovery::TimelineResult results[2];
+  const mcf::LpReuse modes[2] = {mcf::LpReuse::kSession, mcf::LpReuse::kNone};
+  for (int m = 0; m < 2; ++m) {
+    recovery::ListOrderPolicy policy;
+    ScriptedDynamics dynamics({rebreak});
+    topt.lp_reuse = modes[m];
+    util::Rng rng(1);
+    results[m] =
+        recovery::Timeline(problem, policy, dynamics, topt).run(rng);
+  }
+  for (const auto& result : results) {
+    // Stage 0: repair sa (still cut).  Stage 1: repair at (routed, then sa
+    // re-breaks).  Stage 2: repair sa again — service back.
+    ASSERT_GE(result.stages.size(), 3u);
+    EXPECT_EQ(result.stages[0].routed_end, 0.0);
+    EXPECT_EQ(result.stages[1].routed_after.back(), 5.0);
+    EXPECT_EQ(result.stages[1].routed_end, 0.0);  // re-broken
+    EXPECT_EQ(result.stages[2].routed_after.back(), 5.0);
+    EXPECT_EQ(result.final_routed, 5.0);
+    // sa, at, sa again, then the three detour edges.
+    EXPECT_EQ(result.total_repairs, 6u);
+  }
+  EXPECT_EQ(results[0].step_series(), results[1].step_series());
+  EXPECT_EQ(results[0].stage_series(), results[1].stage_series());
+}
+
+// --- engine semantics --------------------------------------------------------
+
+TEST(Timeline, BudgetPacesRepairsAcrossStages) {
+  const auto problem = bell_canada_scenario(2);  // complete destruction
+  recovery::ReplayPolicy policy;
+  recovery::StaticDynamics statics;
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 4;
+  topt.max_stages = 128;
+  util::Rng rng(0);
+  const auto result =
+      recovery::Timeline(problem, policy, statics, topt).run(rng);
+  ASSERT_FALSE(result.stages.empty());
+  for (std::size_t s = 0; s + 1 < result.stages.size(); ++s) {
+    EXPECT_EQ(result.stages[s].repairs.size(), 4u) << "stage " << s;
+  }
+  EXPECT_LE(result.stages.back().repairs.size(), 4u);
+  EXPECT_EQ(result.total_repairs, policy.plan().total_repairs());
+  // Static dynamics: the restoration series is monotone non-decreasing.
+  const auto series = result.step_series();
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i], series[i - 1] - 1e-9);
+  }
+}
+
+TEST(Timeline, StopsImmediatelyWhenNothingIsBroken) {
+  core::RecoveryProblem problem;
+  problem.graph = topology::bell_canada_like();
+  util::Rng rng(3);
+  problem.demands = scenario::far_apart_demands(problem.graph, 2, 1.0, rng);
+  recovery::ListOrderPolicy policy;
+  recovery::StaticDynamics statics;
+  util::Rng run_rng(0);
+  const auto result =
+      recovery::Timeline(problem, policy, statics, {}).run(run_rng);
+  EXPECT_TRUE(result.stages.empty());
+  EXPECT_EQ(result.total_repairs, 0u);
+  EXPECT_EQ(result.initial_routed, result.total_demand);
+  EXPECT_EQ(result.final_routed, result.total_demand);
+  EXPECT_EQ(result.restoration_auc(), 1.0);
+}
+
+TEST(Timeline, ShockOnlyStagesRecordAfterPolicyExhausts) {
+  // Replay policy under aftershocks: once the (initial-damage) plan is
+  // executed the policy idles, but the sequence keeps firing — the engine
+  // must keep recording shock-only stages until it exhausts.
+  const auto problem = er_scenario(3);
+  recovery::ReplayPolicy policy;
+  disruption::AftershockOptions aopts;
+  aopts.first.variance = 60.0;
+  aopts.max_shocks = 6;
+  recovery::AftershockDynamics aftershocks(aopts);
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 0;  // whole plan in stage 0
+  util::Rng rng(11);
+  const auto result =
+      recovery::Timeline(problem, policy, aftershocks, topt).run(rng);
+  // All 6 shocks fired: stage 0 (plan + shock 1) plus 5 shock-only stages.
+  EXPECT_EQ(result.stages.size(), 6u);
+  for (std::size_t s = 1; s < result.stages.size(); ++s) {
+    EXPECT_TRUE(result.stages[s].repairs.empty());
+  }
+}
+
+TEST(Timeline, SeriesHelpersPadAndFlatten) {
+  recovery::TimelineResult result;
+  result.total_demand = 10.0;
+  result.final_routed = 8.0;
+  recovery::StageRecord s0;
+  s0.routed_after = {2.0, 5.0};
+  s0.routed_end = 5.0;
+  recovery::StageRecord s1;
+  s1.routed_after = {8.0};
+  s1.routed_end = 8.0;
+  result.stages = {s0, s1};
+  EXPECT_EQ(result.step_series(),
+            (std::vector<double>{2.0, 5.0, 8.0}));
+  EXPECT_EQ(result.stage_series(), (std::vector<double>{5.0, 8.0}));
+  EXPECT_EQ(result.stage_series(4),
+            (std::vector<double>{5.0, 8.0, 8.0, 8.0}));
+  EXPECT_DOUBLE_EQ(result.restoration_auc(4), (0.5 + 3 * 0.8) / 4.0);
+  EXPECT_EQ(result.stages_to_restore(0.8), 2u);
+}
+
+// --- policies ----------------------------------------------------------------
+
+TEST(Policies, ListOrderCoversEverythingInIdOrder) {
+  auto problem = bell_canada_scenario(2);  // complete destruction
+  recovery::ListOrderPolicy policy;
+  util::Rng rng(0);
+  const auto actions = policy.plan_stage(
+      problem, 0, static_cast<std::size_t>(-1), rng);
+  ASSERT_EQ(actions.size(),
+            problem.graph.num_nodes() + problem.graph.num_edges());
+  for (std::size_t i = 0; i < problem.graph.num_nodes(); ++i) {
+    EXPECT_TRUE(actions[i].is_node);
+    EXPECT_EQ(actions[i].node, static_cast<graph::NodeId>(i));
+  }
+  EXPECT_FALSE(actions[problem.graph.num_nodes()].is_node);
+}
+
+TEST(Policies, RandomIsDeterministicPerSeedAndRespectsBudget) {
+  auto problem = bell_canada_scenario(2);
+  recovery::RandomPolicy policy;
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  const auto a = policy.plan_stage(problem, 0, 7, rng_a);
+  const auto b = policy.plan_stage(problem, 0, 7, rng_b);
+  ASSERT_EQ(a.size(), 7u);
+  ASSERT_EQ(b.size(), 7u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].is_node, b[i].is_node);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].edge, b[i].edge);
+  }
+}
+
+TEST(Policies, BetweennessGreedyRanksHubsFirst) {
+  // Star: the hub dominates betweenness; with everything broken the hub
+  // must be the first repair.
+  core::RecoveryProblem problem;
+  auto& g = problem.graph;
+  const auto hub = g.add_node("hub");
+  for (int leaf = 0; leaf < 5; ++leaf) {
+    const auto n = g.add_node("leaf" + std::to_string(leaf));
+    g.add_edge(hub, n, 1.0);
+  }
+  disruption::complete_destruction(g);
+  recovery::BetweennessGreedyPolicy policy;
+  util::Rng rng(0);
+  const auto actions = policy.plan_stage(problem, 0, 3, rng);
+  ASSERT_EQ(actions.size(), 3u);
+  EXPECT_TRUE(actions[0].is_node);
+  EXPECT_EQ(actions[0].node, hub);
+}
+
+TEST(Policies, ReplanAdaptsToDamageTheInitialPlanNeverSaw) {
+  // Two disjoint 2-edge routes; only the top one broken initially.  The
+  // replay policy plans for the top route; a scripted break then severs the
+  // bottom route *after* the plan executes.  Replay strands the demand;
+  // replan repairs the new damage and restores it.
+  core::RecoveryProblem problem;
+  auto& g = problem.graph;
+  const auto s = g.add_node("s");
+  const auto a = g.add_node("a");
+  const auto t = g.add_node("t");
+  const auto b = g.add_node("b");
+  const auto sa = g.add_edge(s, a, 10.0);
+  const auto at = g.add_edge(a, t, 10.0);
+  const auto sb = g.add_edge(s, b, 10.0);
+  g.add_edge(b, t, 10.0);
+  g.edge(sa).broken = true;
+  g.edge(at).broken = true;
+  problem.demands = {{s, t, 5.0}};
+
+  // Break sa again and also sb at stage 1 (after the stage-0/1 repairs).
+  const std::vector<ScriptedDynamics::Event> script{
+      {1, false, static_cast<int>(sa)},
+      {1, false, static_cast<int>(sb)},
+  };
+  recovery::TimelineOptions topt;
+  topt.stage_budget = 1;
+
+  util::Rng rng1(1);
+  recovery::ReplayPolicy replay;
+  ScriptedDynamics dyn1(script);
+  const auto stale =
+      recovery::Timeline(problem, replay, dyn1, topt).run(rng1);
+  EXPECT_LT(stale.final_routed, 5.0);  // the static plan never recovers
+
+  util::Rng rng2(1);
+  recovery::ReplanPolicy replan;
+  ScriptedDynamics dyn2(script);
+  const auto adaptive =
+      recovery::Timeline(problem, replan, dyn2, topt).run(rng2);
+  EXPECT_EQ(adaptive.final_routed, 5.0);
+  EXPECT_GT(adaptive.total_repairs, stale.total_repairs);
+}
+
+// --- runner ------------------------------------------------------------------
+
+scenario::ProblemFactory runner_factory() {
+  return [](util::Rng& rng) {
+    core::RecoveryProblem problem;
+    problem.graph = topology::bell_canada_like();
+    util::Rng demand_rng = rng.fork();
+    problem.demands =
+        scenario::far_apart_demands(problem.graph, 3, 3.0, demand_rng);
+    disruption::GaussianDisasterOptions gopt;
+    gopt.variance = 80.0;
+    disruption::gaussian_disaster(problem.graph, gopt, rng);
+    return problem;
+  };
+}
+
+TEST(TimelineRunner, AggregatesAreThreadCountInvariant) {
+  std::vector<std::pair<std::string, scenario::PolicyFactory>> policies;
+  policies.emplace_back("replay", [] {
+    return std::make_unique<recovery::ReplayPolicy>();
+  });
+  policies.emplace_back("random", [] {
+    return std::make_unique<recovery::RandomPolicy>();
+  });
+  std::vector<std::pair<std::string, scenario::DynamicsFactory>> dynamics;
+  dynamics.emplace_back("static", [] {
+    return std::make_unique<recovery::StaticDynamics>();
+  });
+  dynamics.emplace_back("aftershock", [] {
+    disruption::AftershockOptions opts;
+    opts.first.variance = 30.0;
+    opts.max_shocks = 2;
+    return std::make_unique<recovery::AftershockDynamics>(opts);
+  });
+
+  scenario::TimelineRunnerOptions options;
+  options.runs = 3;
+  options.seed = 99;
+  options.timeline.stage_budget = 5;
+  options.timeline.max_stages = 32;
+
+  options.threads = 1;
+  const auto serial =
+      scenario::run_timelines(runner_factory(), policies, dynamics, options);
+  options.threads = 4;
+  const auto parallel =
+      scenario::run_timelines(runner_factory(), policies, dynamics, options);
+
+  ASSERT_EQ(serial.cell_names, parallel.cell_names);
+  ASSERT_EQ(serial.cell_names.size(), 4u);
+  EXPECT_EQ(serial.completed_runs, parallel.completed_runs);
+  for (const std::string& cell : serial.cell_names) {
+    for (const std::string& metric :
+         {"restoration_auc", "stages", "total_repairs", "repair_cost",
+          "final_pct", "stages_to_90", "shock_breaks"}) {
+      EXPECT_EQ(serial.per_cell.at(cell).get(metric).mean(),
+                parallel.per_cell.at(cell).get(metric).mean())
+          << cell << " / " << metric;
+      EXPECT_EQ(serial.per_cell.at(cell).get(metric).stddev(),
+                parallel.per_cell.at(cell).get(metric).stddev())
+          << cell << " / " << metric;
+    }
+  }
+  // Sanity: every cell aggregated every run.
+  for (const std::string& cell : serial.cell_names) {
+    EXPECT_EQ(serial.per_cell.at(cell).get("restoration_auc").count(), 3u);
+  }
+}
+
+}  // namespace

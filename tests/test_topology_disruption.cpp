@@ -123,6 +123,135 @@ TEST(Disruption, RandomFailuresRespectProbabilityExtremes) {
   EXPECT_EQ(g.num_broken_nodes(), g.num_nodes());
 }
 
+TEST(Aftershock, FiresExactlyMaxShocksThenExhausts) {
+  util::Rng rng(41);
+  disruption::AftershockOptions opts;
+  opts.first.variance = 60.0;
+  opts.decay = 0.5;
+  opts.max_shocks = 3;
+  disruption::AftershockProcess process(opts);
+  graph::Graph g = topology::bell_canada_like();
+  std::size_t fired = 0;
+  while (!process.exhausted()) {
+    process.next(g, rng);
+    ++fired;
+    ASSERT_LE(fired, 10u) << "process never exhausted";
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(process.shocks_fired(), 3u);
+  // Exhausted: further shocks are no-ops.
+  const std::size_t broken_before = g.num_broken_nodes() + g.num_broken_edges();
+  const auto report = process.next(g, rng);
+  EXPECT_EQ(report.total(), 0u);
+  EXPECT_EQ(g.num_broken_nodes() + g.num_broken_edges(), broken_before);
+}
+
+TEST(Aftershock, MagnitudeDecaysAndFloorsOut) {
+  disruption::AftershockOptions opts;
+  opts.first.variance = 40.0;
+  opts.decay = 0.25;
+  opts.max_shocks = 100;
+  opts.min_variance = 1.0;
+  disruption::AftershockProcess process(opts);
+  util::Rng rng(7);
+  graph::Graph g = topology::bell_canada_like();
+  double previous = 1e18;
+  while (!process.exhausted()) {
+    const double variance = process.current_variance();
+    EXPECT_LT(variance, previous);
+    previous = variance;
+    process.next(g, rng);
+  }
+  // 40 -> 10 -> 2.5 -> 0.625 (< floor): exactly three shocks fired.
+  EXPECT_EQ(process.shocks_fired(), 3u);
+}
+
+TEST(Aftershock, OnlyBreaksNeverRepairs) {
+  util::Rng rng(13);
+  graph::Graph g = topology::bell_canada_like();
+  // Pre-break a marked subset; aftershocks must never clear those flags.
+  g.node(0).broken = true;
+  g.edge(0).broken = true;
+  disruption::AftershockOptions opts;
+  opts.first.variance = 80.0;
+  opts.max_shocks = 4;
+  disruption::AftershockProcess process(opts);
+  std::size_t previous = g.num_broken_nodes() + g.num_broken_edges();
+  while (!process.exhausted()) {
+    process.next(g, rng);
+    const std::size_t now = g.num_broken_nodes() + g.num_broken_edges();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  EXPECT_TRUE(g.node(0).broken);
+  EXPECT_TRUE(g.edge(0).broken);
+}
+
+TEST(Cascade, ReRoutedOverloadBreaksTheDetour) {
+  // Square s - a - t (top, high capacity) and s - b - t (bottom, thin).
+  // Breaking the top path forces the demand onto the thin detour, whose
+  // capacity it exceeds: the cascade must break the detour edges.
+  graph::Graph g;
+  const auto s = g.add_node("s");
+  const auto a = g.add_node("a");
+  const auto t = g.add_node("t");
+  const auto b = g.add_node("b");
+  const auto sa = g.add_edge(s, a, 10.0);
+  const auto at = g.add_edge(a, t, 10.0);
+  const auto sb = g.add_edge(s, b, 2.0);
+  const auto bt = g.add_edge(b, t, 2.0);
+  const std::vector<mcf::Demand> demands{{s, t, 5.0}};
+
+  disruption::CascadeModel model;
+  // Intact graph: shortest path is the 2-hop top route with headroom — no
+  // overload, nothing breaks.
+  EXPECT_EQ(model.advance(g, demands).total(), 0u);
+
+  g.edge(sa).broken = true;
+  const auto report = model.advance(g, demands);
+  EXPECT_EQ(report.broken_edges, 2u);
+  EXPECT_TRUE(g.edge(sb).broken);
+  EXPECT_TRUE(g.edge(bt).broken);
+  EXPECT_FALSE(g.edge(at).broken);  // unreachable now, but not overloaded
+}
+
+TEST(Cascade, DisconnectedDemandContributesNoLoad) {
+  graph::Graph g;
+  const auto s = g.add_node("s");
+  const auto t = g.add_node("t");
+  const auto u = g.add_node("u");
+  const auto v = g.add_node("v");
+  g.add_edge(s, t, 1.0);
+  const auto uv = g.add_edge(u, v, 0.5);
+  g.edge(0).broken = true;  // s-t cut off entirely
+  disruption::CascadeModel model;
+  const std::vector<mcf::Demand> demands{{s, t, 10.0}};
+  EXPECT_EQ(model.advance(g, demands).total(), 0u);
+  EXPECT_FALSE(g.edge(uv).broken);
+}
+
+TEST(Cascade, OverloadFactorGatesTheBreak) {
+  graph::Graph g;
+  const auto s = g.add_node("s");
+  const auto t = g.add_node("t");
+  const auto e = g.add_edge(s, t, 4.0);
+  const std::vector<mcf::Demand> demands{{s, t, 5.0}};
+  {
+    // Factor 1.5: 5 units over capacity 4 stays under 6 — holds.
+    disruption::CascadeOptions opts;
+    opts.overload_factor = 1.5;
+    disruption::CascadeModel model(opts);
+    EXPECT_EQ(model.advance(g, demands).total(), 0u);
+    EXPECT_FALSE(g.edge(e).broken);
+  }
+  {
+    // Factor 1.0: 5 > 4 — breaks.
+    disruption::CascadeModel model;
+    EXPECT_EQ(model.advance(g, demands).broken_edges, 1u);
+    EXPECT_TRUE(g.edge(e).broken);
+  }
+}
+
 TEST(Scenario, FarApartDemandsRespectDistance) {
   const graph::Graph g = topology::bell_canada_like();
   util::Rng rng(23);

@@ -214,5 +214,78 @@ TEST(Flags, ParsesDoubleLists) {
   EXPECT_DOUBLE_EQ(values[1], 2.5);
 }
 
+TEST(Flags, RejectsTrailingGarbageAndEmptyNumerics) {
+  Flags flags;
+  flags.define("n", "1", "int flag");
+  flags.define("x", "1.0", "double flag");
+  const char* argv[] = {"prog", "--n", "7x", "--x", "2.5abc"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  // std::stoi/std::stod would silently truncate both; strict parsing
+  // refuses them with a clear diagnostic instead.
+  EXPECT_THROW(flags.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("x"), std::invalid_argument);
+
+  Flags empty_flags;
+  empty_flags.define("n", "", "int flag");
+  empty_flags.define("x", "", "double flag");
+  const char* none[] = {"prog"};
+  ASSERT_TRUE(empty_flags.parse(1, none));
+  EXPECT_THROW(empty_flags.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(empty_flags.get_double("x"), std::invalid_argument);
+}
+
+TEST(Flags, RejectsTrailingWhitespaceAndPartialExponent) {
+  Flags flags;
+  flags.define("n", "1", "int flag");
+  flags.define("x", "1.0", "double flag");
+  const char* argv[] = {"prog", "--n=7 ", "--x=1.5e"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_THROW(flags.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("x"), std::invalid_argument);
+  // Leading whitespace is consumed by the numeric parser itself and stays
+  // accepted, matching the historical behaviour.
+  Flags ok;
+  ok.define("n", " 7", "int flag");
+  const char* none[] = {"prog"};
+  ASSERT_TRUE(ok.parse(1, none));
+  EXPECT_EQ(ok.get_int("n"), 7);
+}
+
+TEST(Flags, DoubleListRejectsBadElements) {
+  Flags flags;
+  flags.define("sweep", "1,2x,4", "s");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_THROW(flags.get_double_list("sweep"), std::invalid_argument);
+}
+
+TEST(TimeSeries, RestorationAucMatchesMeanOfFractions) {
+  // Curve restoring 25%, 50%, 100% of 4 units: mean(0.25, 0.5, 1) = 7/12.
+  EXPECT_DOUBLE_EQ(restoration_auc({1.0, 2.0, 4.0}, 4.0), 7.0 / 12.0);
+  // Instant restoration scores 1; never restoring anything scores 0.
+  EXPECT_DOUBLE_EQ(restoration_auc({4.0, 4.0}, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(restoration_auc({0.0, 0.0}, 4.0), 0.0);
+}
+
+TEST(TimeSeries, RestorationAucEmptyOrDegenerateScoresOne) {
+  EXPECT_DOUBLE_EQ(restoration_auc({}, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(restoration_auc({1.0}, 0.0), 1.0);
+}
+
+TEST(TimeSeries, StepsToFractionFindsFirstCrossing) {
+  const std::vector<double> series{1.0, 2.0, 2.0, 4.0};
+  EXPECT_EQ(steps_to_fraction(series, 4.0, 0.25), 1u);
+  EXPECT_EQ(steps_to_fraction(series, 4.0, 0.5), 2u);
+  EXPECT_EQ(steps_to_fraction(series, 4.0, 1.0), 4u);
+  // Never reached: size + 1 sentinel.
+  EXPECT_EQ(steps_to_fraction(series, 8.0, 1.0), 5u);
+  EXPECT_EQ(steps_to_fraction({}, 4.0, 0.5), 1u);
+}
+
+TEST(TimeSeries, StepsToFractionToleratesRoundoff) {
+  // A value within 1e-9 of the target counts as reached.
+  EXPECT_EQ(steps_to_fraction({2.0 - 5e-10}, 4.0, 0.5), 1u);
+}
+
 }  // namespace
 }  // namespace netrec::util
