@@ -9,7 +9,7 @@
 #include "bench/bench_common.hpp"
 #include "disruption/disruption.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 
 namespace {
 
@@ -38,7 +38,7 @@ int run(int argc, char** argv) {
   for (int pairs = 1; pairs <= flags.get_int("pairs-max"); ++pairs) {
     sweep.add_point(std::to_string(pairs), [pairs, flow](util::Rng& rng) {
       core::RecoveryProblem p;
-      p.graph = topology::bell_canada_like();
+      p.graph = topology::make_topology({topology::BellCanadaOptions{}});
       p.demands = scenario::far_apart_demands(
           p.graph, static_cast<std::size_t>(pairs), flow, rng);
       disruption::complete_destruction(p.graph);

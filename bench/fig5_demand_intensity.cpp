@@ -8,7 +8,7 @@
 #include "bench/bench_common.hpp"
 #include "disruption/disruption.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 
 namespace {
 
@@ -37,7 +37,7 @@ int run(int argc, char** argv) {
     sweep.add_point(util::format_double(flow, 0),
                     [pairs, flow](util::Rng& rng) {
                       core::RecoveryProblem p;
-                      p.graph = topology::bell_canada_like();
+                      p.graph = topology::make_topology({topology::BellCanadaOptions{}});
                       p.demands = scenario::far_apart_demands(p.graph, pairs,
                                                               flow, rng);
                       disruption::complete_destruction(p.graph);

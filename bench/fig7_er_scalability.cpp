@@ -18,7 +18,7 @@
 #include "disruption/disruption.hpp"
 #include "graph/traversal.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 
 namespace {
 
@@ -69,7 +69,7 @@ int run(int argc, char** argv) {
           // Redraw until connected (sparse draws can disconnect).
           std::size_t attempts = 0;
           do {
-            problem.graph = topology::erdos_renyi(eopt, rng);
+            problem.graph = topology::make_topology(eopt, rng);
           } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
           util::Rng demand_rng = rng.fork();
           problem.demands = scenario::far_apart_demands(problem.graph, pairs,

@@ -10,7 +10,7 @@
 #include "bench/bench_common.hpp"
 #include "disruption/disruption.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 
 namespace {
 
@@ -31,7 +31,7 @@ int run(int argc, char** argv) {
   copt.capacity = flags.get_double("capacity");
   util::Rng topo_rng(
       static_cast<std::uint64_t>(flags.get_int("topology-seed")));
-  const graph::Graph base = topology::caida_like(copt, topo_rng);
+  const graph::Graph base = topology::make_topology(copt, topo_rng);
   std::printf("[fig9] topology: %zu nodes, %zu edges\n", base.num_nodes(),
               base.num_edges());
 

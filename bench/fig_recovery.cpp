@@ -28,7 +28,7 @@
 #include "recovery/dynamics.hpp"
 #include "recovery/policies.hpp"
 #include "scenario/timeline_runner.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -218,7 +218,7 @@ int run(int argc, char** argv) {
         eopt.capacity = 4.0 * flow;
         std::size_t attempts = 0;
         do {
-          problem.graph = topology::erdos_renyi(eopt, rng);
+          problem.graph = topology::make_topology(eopt, rng);
         } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
         util::Rng demand_rng = rng.fork();
         problem.demands = scenario::far_apart_demands(problem.graph, pairs,
@@ -230,7 +230,7 @@ int run(int argc, char** argv) {
       };
   const scenario::ProblemFactory bell_factory = [pairs, flow](util::Rng& rng) {
     core::RecoveryProblem problem;
-    problem.graph = topology::bell_canada_like();
+    problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
     problem.demands =
         scenario::far_apart_demands(problem.graph, pairs, flow, rng);
     disruption::complete_destruction(problem.graph);

@@ -1,0 +1,332 @@
+// fig_scale: internet-scale storage/pipeline sweep (extends Fig. 7 to 10^6).
+//
+// For each node count in --nodes-list the driver generates an RMAT instance
+// through the Builder, round-trips it through the .ntb binary format (and,
+// up to --gml-max-nodes, through GML for the text-parse comparison), breaks
+// a --break-fraction slice of the edges, materialises the working GraphView
+// and runs one ISP-style planning stage: per demand, a Dinic max-flow on
+// the working view plus a repair-path Dijkstra over the full topology —
+// exactly the per-iteration work of the ISP main loop, without the
+// surrounding fixpoint so the 10^6 point finishes on a CI runner.
+//
+// Emitted JSON (--json, committed as BENCH_scale.json) records per point:
+// build / save / load / parse wall times, file sizes, view-materialisation
+// time, planning-stage time and peak RSS.  --require-speedup S turns the
+// binary-vs-GML load ratio into a tripwire: exit 1 when the .ntb load of
+// the largest GML-measured instance is not at least S times faster than
+// the GML parse (CI runs S=10 on the 10^4 smoke instance).
+//
+// Flags:
+//   --nodes-list L       comma-separated node counts (default sweeps
+//                        10^3 -> 10^6)
+//   --edge-factor F      RMAT edges-per-node target (default 8)
+//   --seed S             generator / disruption / demand seed
+//   --demands K          demand pairs in the planning stage
+//   --break-fraction B   fraction of edges broken before planning
+//   --gml-max-nodes N    skip the GML comparison above this size (a 10^6
+//                        GML file is ~0.5 GB of text; the binary format is
+//                        the point of this driver)
+//   --workdir DIR        where the temporary .ntb/.gml files go (default:
+//                        the system temp directory); files are deleted per
+//                        point
+//   --json PATH          write the sweep as JSON
+//   --require-speedup S  tripwire threshold (0 = off)
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/gml.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/ntb.hpp"
+#include "graph/view.hpp"
+#include "topology/generator.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace netrec;
+
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+std::vector<std::size_t> parse_nodes_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    const std::string field = text.substr(pos, end - pos);
+    try {
+      std::size_t consumed = 0;
+      const auto value = std::stoull(field, &consumed);
+      if (consumed != field.size() || value == 0) throw std::exception();
+      out.push_back(static_cast<std::size_t>(value));
+    } catch (const std::exception&) {
+      throw std::runtime_error("--nodes-list expects positive integers, got '" +
+                               field + "'");
+    }
+    pos = end + 1;
+  }
+  if (out.empty()) throw std::runtime_error("empty --nodes-list");
+  return out;
+}
+
+struct Point {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double build_seconds = 0.0;
+  double ntb_save_seconds = 0.0;
+  double ntb_load_seconds = 0.0;
+  std::uintmax_t ntb_bytes = 0;
+  bool gml_measured = false;
+  double gml_save_seconds = 0.0;
+  double gml_parse_seconds = 0.0;
+  std::uintmax_t gml_bytes = 0;
+  double view_seconds = 0.0;
+  double plan_stage_seconds = 0.0;
+  double plan_flow_total = 0.0;
+  std::size_t plan_paths_found = 0;
+  double peak_rss = 0.0;
+
+  double load_speedup() const {
+    return gml_measured && ntb_load_seconds > 0.0
+               ? gml_parse_seconds / ntb_load_seconds
+               : 0.0;
+  }
+};
+
+Point run_point(std::size_t nodes, double edge_factor, std::uint64_t seed,
+                std::size_t demands, double break_fraction,
+                std::size_t gml_max_nodes,
+                const std::filesystem::path& workdir) {
+  Point point;
+  point.nodes = nodes;
+
+  // --- build: RMAT through the Builder -----------------------------------
+  topology::RmatOptions rmat;
+  rmat.nodes = nodes;
+  rmat.edge_factor = edge_factor;
+  util::Timer timer;
+  graph::Graph g = topology::make_topology({rmat, seed});
+  point.build_seconds = timer.elapsed_seconds();
+  point.edges = g.num_edges();
+
+  // --- binary round trip ---------------------------------------------------
+  const auto ntb_path = workdir / ("fig_scale_" + std::to_string(nodes) +
+                                   ".ntb");
+  timer.reset();
+  graph::save_ntb_file(g, ntb_path.string());
+  point.ntb_save_seconds = timer.elapsed_seconds();
+  point.ntb_bytes = std::filesystem::file_size(ntb_path);
+
+  timer.reset();
+  graph::Graph loaded = graph::load_ntb_file(ntb_path.string());
+  point.ntb_load_seconds = timer.elapsed_seconds();
+  if (loaded.num_nodes() != g.num_nodes() ||
+      loaded.num_edges() != g.num_edges()) {
+    throw std::runtime_error("fig_scale: .ntb round trip changed the graph");
+  }
+  std::filesystem::remove(ntb_path);
+
+  // --- GML comparison (text parse is the baseline the binary format beats)
+  if (nodes <= gml_max_nodes) {
+    const auto gml_path = workdir / ("fig_scale_" + std::to_string(nodes) +
+                                     ".gml");
+    timer.reset();
+    graph::save_gml_file(g, gml_path.string());
+    point.gml_save_seconds = timer.elapsed_seconds();
+    point.gml_bytes = std::filesystem::file_size(gml_path);
+
+    timer.reset();
+    graph::Graph parsed = graph::load_gml_file(gml_path.string());
+    point.gml_parse_seconds = timer.elapsed_seconds();
+    point.gml_measured = true;
+    if (parsed.num_edges() != g.num_edges()) {
+      throw std::runtime_error("fig_scale: GML round trip changed the graph");
+    }
+    std::filesystem::remove(gml_path);
+  }
+
+  // --- disruption: break a slice of the edges (nodes stay up so every
+  // demand endpoint remains valid) -----------------------------------------
+  util::Rng rng(seed ^ 0x5ca1eULL);
+  const auto broken_target = static_cast<std::size_t>(
+      break_fraction * static_cast<double>(loaded.num_edges()));
+  while (loaded.num_broken_edges() < broken_target) {
+    const auto e = static_cast<graph::EdgeId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(loaded.num_edges()) - 1));
+    loaded.set_edge_broken(e, true);
+  }
+
+  // --- view materialisation ------------------------------------------------
+  timer.reset();
+  graph::GraphView working = graph::GraphView::working(loaded);
+  point.view_seconds = timer.elapsed_seconds();
+
+  // --- one ISP-style planning stage: per demand, max-flow on the working
+  // subgraph + repair-path Dijkstra over the full topology ------------------
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  while (pairs.size() < demands) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(loaded.num_nodes()) - 1));
+    const auto t = static_cast<graph::NodeId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(loaded.num_nodes()) - 1));
+    if (s != t) pairs.emplace_back(s, t);
+  }
+
+  timer.reset();
+  graph::GraphView full = graph::GraphView::build(loaded, {});
+  for (const auto& [s, t] : pairs) {
+    point.plan_flow_total += graph::max_flow(working, s, t).value;
+    const auto tree = graph::dijkstra(full, s);
+    if (tree.path_to(loaded, t)) ++point.plan_paths_found;
+  }
+  point.plan_stage_seconds = timer.elapsed_seconds();
+
+  point.peak_rss = peak_rss_mb();
+  return point;
+}
+
+util::Json to_json(const Point& p) {
+  util::Json row = util::Json::object();
+  row.set("nodes", p.nodes);
+  row.set("edges", p.edges);
+  row.set("build_seconds", p.build_seconds);
+  row.set("ntb_save_seconds", p.ntb_save_seconds);
+  row.set("ntb_load_seconds", p.ntb_load_seconds);
+  row.set("ntb_bytes", static_cast<double>(p.ntb_bytes));
+  if (p.gml_measured) {
+    row.set("gml_save_seconds", p.gml_save_seconds);
+    row.set("gml_parse_seconds", p.gml_parse_seconds);
+    row.set("gml_bytes", static_cast<double>(p.gml_bytes));
+    row.set("gml_load_speedup", p.load_speedup());
+  }
+  row.set("view_seconds", p.view_seconds);
+  row.set("plan_stage_seconds", p.plan_stage_seconds);
+  row.set("plan_flow_total", p.plan_flow_total);
+  row.set("plan_paths_found", p.plan_paths_found);
+  row.set("peak_rss_mb", p.peak_rss);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("nodes-list", "1000,10000,100000,1000000",
+               "comma-separated node counts to sweep");
+  flags.define("edge-factor", "8.0", "RMAT edges per node");
+  flags.define("seed", "7", "generator / disruption / demand seed");
+  flags.define("demands", "4", "demand pairs in the planning stage");
+  flags.define("break-fraction", "0.01",
+               "fraction of edges broken before planning");
+  flags.define("gml-max-nodes", "100000",
+               "skip the GML comparison above this node count");
+  flags.define("workdir", "", "temp-file directory (default: system tmp)");
+  flags.define("json", "", "write the sweep as JSON to this path");
+  flags.define("require-speedup", "0.0",
+               "fail unless .ntb load beats GML parse by this factor "
+               "on the largest GML-measured instance (0 = off)");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("bench_fig_scale").c_str(), stdout);
+    return 2;
+  }
+
+  try {
+    const auto nodes_list = parse_nodes_list(flags.get("nodes-list"));
+    const double edge_factor = flags.get_double("edge-factor");
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    const auto demands = static_cast<std::size_t>(flags.get_int("demands"));
+    const double break_fraction = flags.get_double("break-fraction");
+    const auto gml_max_nodes =
+        static_cast<std::size_t>(flags.get_int("gml-max-nodes"));
+    const double require_speedup = flags.get_double("require-speedup");
+    const std::filesystem::path workdir =
+        flags.get("workdir").empty()
+            ? std::filesystem::temp_directory_path()
+            : std::filesystem::path(flags.get("workdir"));
+
+    std::printf(
+        "%10s %10s %9s %9s %9s %9s %9s %9s %9s %9s\n", "nodes", "edges",
+        "build_s", "ntb_w_s", "ntb_r_s", "gml_r_s", "speedup", "view_s",
+        "plan_s", "rss_mb");
+
+    std::vector<Point> points;
+    for (const std::size_t nodes : nodes_list) {
+      Point p = run_point(nodes, edge_factor, seed, demands, break_fraction,
+                          gml_max_nodes, workdir);
+      std::printf(
+          "%10zu %10zu %9.3f %9.3f %9.3f %9s %9s %9.3f %9.3f %9.1f\n",
+          p.nodes, p.edges, p.build_seconds, p.ntb_save_seconds,
+          p.ntb_load_seconds,
+          p.gml_measured ? std::to_string(p.gml_parse_seconds).c_str() : "-",
+          p.gml_measured ? std::to_string(p.load_speedup()).c_str() : "-",
+          p.view_seconds, p.plan_stage_seconds, p.peak_rss);
+      std::fflush(stdout);
+      points.push_back(p);
+    }
+
+    // Tripwire: the largest instance with a GML measurement.
+    const Point* gml_point = nullptr;
+    for (const Point& p : points) {
+      if (p.gml_measured) gml_point = &p;
+    }
+    bool tripwire_ok = true;
+    if (require_speedup > 0.0) {
+      if (gml_point == nullptr) {
+        std::fprintf(stderr,
+                     "fig_scale: --require-speedup set but no instance was "
+                     "small enough for the GML comparison\n");
+        tripwire_ok = false;
+      } else if (gml_point->load_speedup() < require_speedup) {
+        std::fprintf(stderr,
+                     "fig_scale: tripwire FAILED at n=%zu: .ntb load only "
+                     "%.1fx faster than GML parse (need %.1fx)\n",
+                     gml_point->nodes, gml_point->load_speedup(),
+                     require_speedup);
+        tripwire_ok = false;
+      } else {
+        std::printf("fig_scale: tripwire ok at n=%zu: %.1fx >= %.1fx\n",
+                    gml_point->nodes, gml_point->load_speedup(),
+                    require_speedup);
+      }
+    }
+
+    const std::string json_path = flags.get("json");
+    if (!json_path.empty()) {
+      util::Json doc = util::Json::object();
+      doc.set("driver", "fig_scale");
+      doc.set("seed", static_cast<double>(seed));
+      doc.set("edge_factor", edge_factor);
+      doc.set("demands", demands);
+      doc.set("break_fraction", break_fraction);
+      util::Json rows = util::Json::array();
+      for (const Point& p : points) rows.push_back(to_json(p));
+      doc.set("points", std::move(rows));
+      if (require_speedup > 0.0) {
+        util::Json trip = util::Json::object();
+        trip.set("require_speedup", require_speedup);
+        trip.set("measured_speedup",
+                 gml_point != nullptr ? gml_point->load_speedup() : 0.0);
+        trip.set("ok", tripwire_ok);
+        doc.set("tripwire", std::move(trip));
+      }
+      util::write_json_file(json_path, doc);
+      std::printf("fig_scale: wrote %s\n", json_path.c_str());
+    }
+    return tripwire_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_fig_scale: %s\n", e.what());
+    return 1;
+  }
+}

@@ -10,25 +10,26 @@
 #include "disruption/disruption.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/maxflow.hpp"
+#include "graph/view.hpp"
 #include "lp/simplex.hpp"
 #include "mcf/routing.hpp"
 #include "mcf/split.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 
 namespace {
 
 using namespace netrec;
 
 const graph::Graph& bell() {
-  static const graph::Graph g = topology::bell_canada_like();
+  static const graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   return g;
 }
 
 const graph::Graph& caida() {
   static const graph::Graph g = [] {
     util::Rng rng(77);
-    return topology::caida_like({}, rng);
+    return topology::make_topology(topology::CaidaLikeOptions{}, rng);
   }();
   return g;
 }
@@ -41,29 +42,34 @@ std::vector<mcf::Demand> demands_for(const graph::Graph& g, std::size_t n,
 
 void BM_DijkstraBell(benchmark::State& state) {
   const auto& g = bell();
-  auto unit = [](graph::EdgeId) { return 1.0; };
+  graph::ViewConfig config;
+  config.length = [](graph::EdgeId) { return 1.0; };
+  const auto view = graph::GraphView::build(g, config);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::dijkstra(g, 0, unit));
+    benchmark::DoNotOptimize(graph::dijkstra(view, 0));
   }
 }
 BENCHMARK(BM_DijkstraBell);
 
 void BM_DijkstraCaida(benchmark::State& state) {
   const auto& g = caida();
-  auto unit = [](graph::EdgeId) { return 1.0; };
+  graph::ViewConfig config;
+  config.length = [](graph::EdgeId) { return 1.0; };
+  const auto view = graph::GraphView::build(g, config);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::dijkstra(g, 0, unit));
+    benchmark::DoNotOptimize(graph::dijkstra(view, 0));
   }
 }
 BENCHMARK(BM_DijkstraCaida);
 
 void BM_DinicBell(benchmark::State& state) {
   const auto& g = bell();
-  auto cap = mcf::static_capacity(g);
+  graph::ViewConfig config;
+  config.capacity = mcf::static_capacity(g);
+  const auto view = graph::GraphView::build(g, config);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        graph::max_flow(g, 0, static_cast<graph::NodeId>(g.num_nodes() - 3),
-                        cap));
+    benchmark::DoNotOptimize(graph::max_flow(
+        view, 0, static_cast<graph::NodeId>(g.num_nodes() - 3)));
   }
 }
 BENCHMARK(BM_DinicBell);

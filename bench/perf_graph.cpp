@@ -29,7 +29,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/view.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -51,14 +51,14 @@ double pseudo_dual(graph::EdgeId e, std::size_t round) {
 /// what the callback path re-evaluates on every edge examination and the
 /// view flattens once per round.
 double dynamic_metric(const graph::Graph& g, graph::EdgeId e) {
-  const graph::Edge& edge = g.edge(e);
+  const auto [eu, ev] = g.edge_endpoints(e);
   double k = 1.0;
-  if (edge.broken) k += edge.repair_cost;
-  if (g.node(edge.u).broken) k += g.node(edge.u).repair_cost / 2.0;
-  if (g.node(edge.v).broken) k += g.node(edge.v).repair_cost / 2.0;
+  if (g.edge_broken(e)) k += g.edge_repair_cost(e);
+  if (g.node_broken(eu)) k += g.node_repair_cost(eu) / 2.0;
+  if (g.node_broken(ev)) k += g.node_repair_cost(ev) / 2.0;
   const auto h = static_cast<std::uint64_t>(e) * 2654435761ULL;
   const double jitter = 1.0 + static_cast<double>(h % 97) / 970.0;
-  return k * jitter / std::max(edge.capacity, 1e-6);
+  return k * jitter / std::max(g.edge_capacity(e), 1e-6);
 }
 
 /// Reduced-cost edge length for the pricing kernels (>= 0 by construction).
@@ -83,6 +83,7 @@ core::RecoverySolution timed(const std::string& name, double checksum,
   return solution;
 }
 
+#if defined(NETREC_ENABLE_LEGACY)
 core::RecoverySolution betweenness_callback(const core::RecoveryProblem& p) {
   util::Timer timer;
   const graph::Graph& g = p.graph;
@@ -93,6 +94,7 @@ core::RecoverySolution betweenness_callback(const core::RecoveryProblem& p) {
   for (double s : scores) checksum += s;
   return timed("betweenness/callback", checksum, timer);
 }
+#endif  // NETREC_ENABLE_LEGACY
 
 core::RecoverySolution betweenness_view(const core::RecoveryProblem& p) {
   util::Timer timer;
@@ -107,6 +109,7 @@ core::RecoverySolution betweenness_view(const core::RecoveryProblem& p) {
   return timed("betweenness/view", checksum, timer);
 }
 
+#if defined(NETREC_ENABLE_LEGACY)
 core::RecoverySolution pricing_callback(const core::RecoveryProblem& p,
                                         const KernelConfig& config) {
   util::Timer timer;
@@ -126,6 +129,7 @@ core::RecoverySolution pricing_callback(const core::RecoveryProblem& p,
   }
   return timed("pricing/callback", checksum, timer);
 }
+#endif  // NETREC_ENABLE_LEGACY
 
 core::RecoverySolution pricing_view(const core::RecoveryProblem& p,
                                     const KernelConfig& config) {
@@ -178,21 +182,25 @@ int run(int argc, char** argv) {
   options.require_feasible = false;
 
   scenario::SweepRunner sweep("perf_graph", "instance", options);
+#if defined(NETREC_ENABLE_LEGACY)
   sweep.add_algorithm("betweenness/callback",
                       [](const core::RecoveryProblem& p,
                          scenario::RunContext&) {
                         return betweenness_callback(p);
                       });
+#endif
   sweep.add_algorithm("betweenness/view",
                       [](const core::RecoveryProblem& p,
                          scenario::RunContext&) {
                         return betweenness_view(p);
                       });
+#if defined(NETREC_ENABLE_LEGACY)
   sweep.add_algorithm("pricing/callback",
                       [config](const core::RecoveryProblem& p,
                                scenario::RunContext&) {
                         return pricing_callback(p, config);
                       });
+#endif
   sweep.add_algorithm("pricing/view",
                       [config](const core::RecoveryProblem& p,
                                scenario::RunContext&) {
@@ -207,16 +215,16 @@ int run(int argc, char** argv) {
     topology::ErdosRenyiOptions eopt;
     eopt.nodes = nodes;
     eopt.edge_probability = edge_prob;
-    problem.graph = topology::erdos_renyi(eopt, rng);
+    problem.graph = topology::make_topology(eopt, rng);
     // Random disruption so the working filters actually filter.
     for (std::size_t n = 0; n < problem.graph.num_nodes(); ++n) {
       if (rng.chance(break_frac / 3.0)) {
-        problem.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+        problem.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
       }
     }
     for (std::size_t e = 0; e < problem.graph.num_edges(); ++e) {
       if (rng.chance(break_frac)) {
-        problem.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+        problem.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
       }
     }
     const auto n = static_cast<std::int64_t>(problem.graph.num_nodes());

@@ -32,7 +32,7 @@
 #include "disruption/disruption.hpp"
 #include "graph/traversal.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -49,6 +49,14 @@ core::RecoverySolution run_isp(const core::RecoveryProblem& p,
 }
 
 int run(int argc, char** argv) {
+#if !defined(NETREC_ENABLE_LEGACY)
+  (void)argc;
+  (void)argv;
+  std::fprintf(stderr,
+               "perf_isp: built without NETREC_ENABLE_LEGACY; the "
+               "legacy-vs-viewcache comparison is unavailable\n");
+  return 0;
+#else
   util::Flags flags;
   bench::declare_common_flags(flags, /*default_runs=*/3);
   flags.define("threads", "1",
@@ -95,26 +103,26 @@ int run(int argc, char** argv) {
     eopt.capacity = 4.0 * flow;
     std::size_t attempts = 0;
     do {
-      problem.graph = topology::erdos_renyi(eopt, rng);
+      problem.graph = topology::make_topology(eopt, rng);
     } while (graph::hop_diameter(problem.graph) < 0 && ++attempts < 50);
     util::Rng demand_rng = rng.fork();
     problem.demands =
         scenario::far_apart_demands(problem.graph, pairs, flow, demand_rng);
     for (std::size_t n = 0; n < problem.graph.num_nodes(); ++n) {
       if (rng.chance(0.6)) {
-        problem.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+        problem.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
       }
     }
     for (std::size_t e = 0; e < problem.graph.num_edges(); ++e) {
       if (rng.chance(0.6)) {
-        problem.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+        problem.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
       }
     }
     return problem;
   });
   sweep.add_point("bell_canada", [pairs, flow](util::Rng& rng) {
     core::RecoveryProblem problem;
-    problem.graph = topology::bell_canada_like();
+    problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
     problem.demands =
         scenario::far_apart_demands(problem.graph, pairs, flow, rng);
     disruption::complete_destruction(problem.graph);
@@ -206,6 +214,7 @@ int run(int argc, char** argv) {
         "recorded with identity_ok: false, treat them as meaningless");
   }
   return 0;
+#endif  // NETREC_ENABLE_LEGACY
 }
 
 }  // namespace

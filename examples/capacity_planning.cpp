@@ -10,6 +10,7 @@
 //
 //   $ ./capacity_planning [--surge 60]
 #include <cstdio>
+#include <string>
 
 #include "netrec.hpp"
 #include "util/flags.hpp"
@@ -26,12 +27,12 @@ int main(int argc, char** argv) {
   }
 
   core::RecoveryProblem problem;
-  problem.graph = topology::bell_canada_like();
+  problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
   graph::Graph& g = problem.graph;
 
   auto find = [&](const char* name) {
     for (std::size_t i = 0; i < g.num_nodes(); ++i) {
-      if (g.node(static_cast<graph::NodeId>(i)).name == name) {
+      if (g.node_name(static_cast<graph::NodeId>(i)) == name) {
         return static_cast<graph::NodeId>(i);
       }
     }
@@ -60,9 +61,10 @@ int main(int argc, char** argv) {
   std::printf("candidate builds:\n");
   for (const Candidate& c : candidates) {
     const graph::EdgeId e = g.add_edge(c.u, c.v, c.capacity, c.build_cost);
-    g.edge(e).broken = true;  // must be "repaired" (= built) to be used
+    g.set_edge_broken(e, true);  // must be "repaired" (= built) to be used
     std::printf("  %-12s - %-12s cap %.0f, cost %.0f\n",
-                g.node(c.u).name.c_str(), g.node(c.v).name.c_str(),
+                std::string(g.node_name(c.u)).c_str(),
+                std::string(g.node_name(c.v)).c_str(),
                 c.capacity, c.build_cost);
   }
 
@@ -88,8 +90,8 @@ int main(int argc, char** argv) {
               opt.proven_optimal ? "proven optimal" : "best found",
               opt.solution.repair_cost);
   for (graph::EdgeId e : opt.solution.repaired_edges) {
-    std::printf("  build %-12s - %-12s\n", g.node(g.edge(e).u).name.c_str(),
-                g.node(g.edge(e).v).name.c_str());
+    std::printf("  build %-12s - %-12s\n", std::string(g.node_name(g.edge_u(e))).c_str(),
+                std::string(g.node_name(g.edge_v(e))).c_str());
   }
   std::printf("surge carried after build: %.1f%%\n",
               opt.solution.satisfied_fraction * 100.0);

@@ -9,6 +9,7 @@
 //   $ ./disaster_response [--variance 60] [--epicenter-x -73.57]
 //                         [--epicenter-y 45.5] [--seed 7]
 #include <cstdio>
+#include <string>
 
 #include "netrec.hpp"
 #include "util/flags.hpp"
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   }
 
   core::RecoveryProblem problem;
-  problem.graph = topology::bell_canada_like();
+  problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
   graph::Graph& g = problem.graph;
 
   // Mission-critical services, chosen far apart (paper Section VII-A).
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   std::printf("mission-critical services:\n");
   for (const auto& d : problem.demands) {
     std::printf("  %-13s <-> %-13s  %.0f units\n",
-                g.node(d.source).name.c_str(), g.node(d.target).name.c_str(),
+                std::string(g.node_name(d.source)).c_str(), std::string(g.node_name(d.target)).c_str(),
                 d.amount);
   }
 
@@ -76,11 +77,11 @@ int main(int argc, char** argv) {
   const auto& isp = entries.front().solution;
   std::printf("\nISP repair crew dispatch list:\n");
   for (graph::NodeId n : isp.repaired_nodes) {
-    std::printf("  site  %s\n", g.node(n).name.c_str());
+    std::printf("  site  %s\n", std::string(g.node_name(n)).c_str());
   }
   for (graph::EdgeId e : isp.repaired_edges) {
-    std::printf("  link  %s - %s\n", g.node(g.edge(e).u).name.c_str(),
-                g.node(g.edge(e).v).name.c_str());
+    std::printf("  link  %s - %s\n", std::string(g.node_name(g.edge_u(e))).c_str(),
+                std::string(g.node_name(g.edge_v(e))).c_str());
   }
   return 0;
 }

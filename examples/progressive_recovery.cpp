@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   }
 
   core::RecoveryProblem problem;
-  problem.graph = topology::bell_canada_like();
+  problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   problem.demands = scenario::far_apart_demands(
       problem.graph, static_cast<std::size_t>(flags.get_int("pairs")),

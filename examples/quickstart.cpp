@@ -6,6 +6,7 @@
 // This walks the library's core loop in ~60 lines: Graph -> demands ->
 // disruption -> IspSolver -> RecoverySolution.
 #include <cstdio>
+#include <string>
 
 #include "netrec.hpp"
 
@@ -46,11 +47,11 @@ int main() {
   std::printf("\nISP repair plan (%zu repairs, cost %.0f):\n",
               plan.total_repairs(), plan.repair_cost);
   for (graph::NodeId n : plan.repaired_nodes) {
-    std::printf("  repair node %s\n", g.node(n).name.c_str());
+    std::printf("  repair node %s\n", std::string(g.node_name(n)).c_str());
   }
   for (graph::EdgeId eid : plan.repaired_edges) {
-    std::printf("  repair link %s - %s\n", g.node(g.edge(eid).u).name.c_str(),
-                g.node(g.edge(eid).v).name.c_str());
+    std::printf("  repair link %s - %s\n", std::string(g.node_name(g.edge_u(eid))).c_str(),
+                std::string(g.node_name(g.edge_v(eid))).c_str());
   }
   std::printf("\nrouting (%.0f%% of demand satisfied):\n",
               plan.satisfied_fraction * 100.0);

@@ -33,10 +33,10 @@ void report(const char* name, const graph::Graph& g) {
   double total_capacity = 0.0;
   double min_cap = 1e18;
   double max_cap = 0.0;
-  for (const auto& e : g.edges()) {
-    total_capacity += e.capacity;
-    min_cap = std::min(min_cap, e.capacity);
-    max_cap = std::max(max_cap, e.capacity);
+  for (double cap : g.edge_capacities()) {
+    total_capacity += cap;
+    min_cap = std::min(min_cap, cap);
+    max_cap = std::max(max_cap, cap);
   }
   std::printf("  capacity min/mean/max: %.0f / %.1f / %.0f\n", min_cap,
               total_capacity / static_cast<double>(g.num_edges()), max_cap);
@@ -59,18 +59,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const graph::Graph bell = topology::bell_canada_like();
+  const graph::Graph bell = topology::make_topology({topology::BellCanadaOptions{}});
   report("Bell-Canada-like (Section VII-A)", bell);
 
   util::Rng er_rng(5);
   topology::ErdosRenyiOptions eopt;
   eopt.edge_probability = flags.get_double("er-p");
-  const graph::Graph er = topology::erdos_renyi(eopt, er_rng);
+  const graph::Graph er = topology::make_topology(eopt, er_rng);
   report("Erdos-Renyi n=100 (Section VII-B)", er);
 
   util::Rng caida_rng(
       static_cast<std::uint64_t>(flags.get_int("caida-seed")));
-  const graph::Graph caida = topology::caida_like({}, caida_rng);
+  const graph::Graph caida = topology::make_topology(topology::CaidaLikeOptions{}, caida_rng);
   report("CAIDA-like AS topology (Section VII-C)", caida);
 
   const std::string dir = flags.get("export-dir");

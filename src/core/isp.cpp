@@ -1,5 +1,14 @@
 #include "core/isp.hpp"
 
+// The kLegacy backend's call sites vanish from builds without the reference
+// kernels; the backend itself is rejected at construction below.
+#if defined(NETREC_ENABLE_LEGACY)
+#define NETREC_ISP_SELECT(view_expr, legacy_expr) \
+  (cached() ? (view_expr) : (legacy_expr))
+#else
+#define NETREC_ISP_SELECT(view_expr, legacy_expr) (view_expr)
+#endif
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -8,6 +17,7 @@
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -74,8 +84,14 @@ class Engine {
         trace_(trace),
         state_(problem.graph),
         residual_(problem.graph.num_edges()) {
+#if !defined(NETREC_ENABLE_LEGACY)
+    if (opt_.backend == IspBackend::kLegacy) {
+      throw std::logic_error(
+          "IspBackend::kLegacy requires a build with NETREC_ENABLE_LEGACY");
+    }
+#endif
     for (std::size_t e = 0; e < g_.num_edges(); ++e) {
-      residual_[e] = g_.edge(e).capacity;
+      residual_[e] = g_.edge_capacity(e);
     }
     jitter_.assign(g_.num_edges(), 1.0);
     if (opt.length_jitter > 0.0) {
@@ -179,14 +195,16 @@ class Engine {
   /// not-yet-listed elements, normalised by residual capacity.
   graph::EdgeWeight dynamic_length() const {
     return [this](graph::EdgeId e) {
-      const graph::Edge& edge = g_.edge(e);
+      const auto [eu, ev] = g_.edge_endpoints(e);
       double k = opt_.metric_const;
-      if (edge.broken && !state_.edge_repaired(e)) k += edge.repair_cost;
-      if (g_.node(edge.u).broken && !state_.node_repaired(edge.u)) {
-        k += g_.node(edge.u).repair_cost / 2.0;
+      if (g_.edge_broken(e) && !state_.edge_repaired(e)) {
+        k += g_.edge_repair_cost(e);
       }
-      if (g_.node(edge.v).broken && !state_.node_repaired(edge.v)) {
-        k += g_.node(edge.v).repair_cost / 2.0;
+      if (g_.node_broken(eu) && !state_.node_repaired(eu)) {
+        k += g_.node_repair_cost(eu) / 2.0;
+      }
+      if (g_.node_broken(ev) && !state_.node_repaired(ev)) {
+        k += g_.node_repair_cost(ev) / 2.0;
       }
       const double c = residual_[static_cast<std::size_t>(e)];
       return k * jitter_[static_cast<std::size_t>(e)] / std::max(c, 1e-6);
@@ -324,15 +342,14 @@ class Engine {
     }
 
     // Max flow inside the bubble on working edges and residual capacities.
-    const auto flow =
-        cached()
-            ? graph::max_flow(working_view(), dem.source, dem.target,
-                              residual_, in_s)
-            : graph::legacy::max_flow(
-                  g_, dem.source, dem.target, residual_view(),
-                  working_filter(), [&in_s](graph::NodeId n) {
-                    return in_s[static_cast<std::size_t>(n)] != 0;
-                  });
+    const auto flow = NETREC_ISP_SELECT(
+        graph::max_flow(working_view(), dem.source, dem.target, residual_,
+                        in_s),
+        graph::legacy::max_flow(g_, dem.source, dem.target, residual_view(),
+                                working_filter(), [&in_s](graph::NodeId n) {
+                                  return in_s[static_cast<std::size_t>(n)] !=
+                                         0;
+                                }));
     const double k = std::min(flow.value, dem.amount);
     if (k <= opt_.tolerance) return 0.0;
 
@@ -392,25 +409,21 @@ class Engine {
       if (dem.amount <= opt_.tolerance) continue;
       const graph::EdgeId e = g_.find_edge(dem.source, dem.target);
       if (e == graph::kInvalidEdge) continue;
-      if (!g_.edge(e).broken || state_.edge_repaired(e)) continue;
+      if (!g_.edge_broken(e) || state_.edge_repaired(e)) continue;
       // "cannot be satisfied by any working path (including L(n))".
       // (Views re-fetched per demand: a repair below invalidates them.)
-      const auto flow =
-          cached() ? graph::max_flow(working_view(), dem.source, dem.target,
-                                     residual_)
-                   : graph::legacy::max_flow(g_, dem.source, dem.target,
-                                             residual_view(),
-                                             working_filter());
+      const auto flow = NETREC_ISP_SELECT(
+          graph::max_flow(working_view(), dem.source, dem.target, residual_),
+          graph::legacy::max_flow(g_, dem.source, dem.target, residual_view(),
+                                  working_filter()));
       if (flow.value >= dem.amount - opt_.tolerance) continue;
       // Interpretation choice (documented in DESIGN.md): only repair the
       // direct edge when it is also a cheapest dynamic-metric route — with
       // the paper's homogeneous costs this always holds, but it stops the
       // rule from buying an expensive shortcut past a cheap corridor.
-      const auto tree =
-          cached()
-              ? graph::dijkstra_residual(metric_view(), dem.source, residual_)
-              : graph::legacy::dijkstra(g_, dem.source, length,
-                                        full_filter());
+      const auto tree = NETREC_ISP_SELECT(
+          graph::dijkstra_residual(metric_view(), dem.source, residual_),
+          graph::legacy::dijkstra(g_, dem.source, length, full_filter()));
       if (tree.reached(dem.target) &&
           tree.distance[static_cast<std::size_t>(dem.target)] <
               length(e) - 1e-12) {
@@ -435,21 +448,19 @@ class Engine {
     // byte-for-byte historical computation as the differential reference.
     const CentralityOptions copt{opt_.metric_const, opt_.centrality_max_paths,
                                  lp_sessions()};
-    const auto centrality =
-        cached() ? demand_based_centrality(metric_view(), current_demands(),
-                                           copt)
-                 : demand_based_centrality(g_, current_demands(),
-                                           dynamic_length(), residual_view(),
-                                           copt);
+    const auto centrality = NETREC_ISP_SELECT(
+        demand_based_centrality(metric_view(), current_demands(), copt),
+        demand_based_centrality(g_, current_demands(), dynamic_length(),
+                                residual_view(), copt));
     std::vector<graph::NodeId> ranking;
     std::vector<double> ranking_score;
     if (opt_.use_classic_betweenness) {
       // Ablation: classic betweenness ignores demands and capacities; the
       // demand path sets are still needed for split-candidate selection.
-      ranking_score =
-          cached() ? graph::betweenness_centrality(usable_view())
-                   : graph::legacy::betweenness_centrality(
-                         g_, dynamic_length(), full_filter());
+      ranking_score = NETREC_ISP_SELECT(
+          graph::betweenness_centrality(usable_view()),
+          graph::legacy::betweenness_centrality(g_, dynamic_length(),
+                                                full_filter()));
       ranking.resize(g_.num_nodes());
       std::iota(ranking.begin(), ranking.end(), 0);
       std::stable_sort(ranking.begin(), ranking.end(),
@@ -499,13 +510,13 @@ class Engine {
           }
           flow_value = it->second.second;
         } else {
-          flow_value =
-              (cached() ? graph::max_flow(full_view(), dem.source, dem.target,
-                                          residual_)
-                        : graph::legacy::max_flow(g_, dem.source, dem.target,
-                                                  residual_view(),
-                                                  full_filter()))
-                  .value;
+          flow_value = NETREC_ISP_SELECT(
+                           graph::max_flow(full_view(), dem.source,
+                                           dem.target, residual_),
+                           graph::legacy::max_flow(g_, dem.source, dem.target,
+                                                   residual_view(),
+                                                   full_filter()))
+                           .value;
         }
         if (flow_value <= kEps) continue;  // infeasible even on full graph
         candidates.push_back(
@@ -532,13 +543,14 @@ class Engine {
                 ? mcf::max_splittable_amount(
                       *lp_split_, full_view(), current_demand_specs(),
                       static_cast<int>(cand.demand), vbc)
-                : cached() ? mcf::max_splittable_amount(
-                                 full_view(), current_demands(),
-                                 static_cast<int>(cand.demand), vbc, opt_.lp)
-                           : mcf::max_splittable_amount(
-                                 g_, current_demands(),
-                                 static_cast<int>(cand.demand), vbc,
-                                 full_filter(), residual_view(), opt_.lp);
+                : NETREC_ISP_SELECT(
+                      mcf::max_splittable_amount(
+                          full_view(), current_demands(),
+                          static_cast<int>(cand.demand), vbc, opt_.lp),
+                      mcf::max_splittable_amount(
+                          g_, current_demands(),
+                          static_cast<int>(cand.demand), vbc, full_filter(),
+                          residual_view(), opt_.lp));
         if (dx <= opt_.tolerance) continue;
         apply_split(cand.demand, vbc, std::min(dx, dem.amount));
         return true;
@@ -605,12 +617,10 @@ class Engine {
     double worst_gap = opt_.tolerance;
     for (std::size_t h = 0; h < demands_.size(); ++h) {
       const auto& dem = demands_[h];
-      const auto flow =
-          cached() ? graph::max_flow(working_view(), dem.source, dem.target,
-                                     residual_)
-                   : graph::legacy::max_flow(g_, dem.source, dem.target,
-                                             residual_view(),
-                                             working_filter());
+      const auto flow = NETREC_ISP_SELECT(
+          graph::max_flow(working_view(), dem.source, dem.target, residual_),
+          graph::legacy::max_flow(g_, dem.source, dem.target, residual_view(),
+                                  working_filter()));
       const double gap = dem.amount - flow.value;
       if (gap > worst_gap) {
         worst_gap = gap;
@@ -623,13 +633,12 @@ class Engine {
       return exact_completion();
     }
     const auto& dem = demands_[worst];
-    const auto path =
-        cached()
-            ? graph::dijkstra_residual(metric_view(), dem.source, residual_)
-                  .path_to(g_, dem.target)
-            : graph::legacy::dijkstra(g_, dem.source, dynamic_length(),
-                                      full_filter())
-                  .path_to(g_, dem.target);
+    const auto path = NETREC_ISP_SELECT(
+        graph::dijkstra_residual(metric_view(), dem.source, residual_)
+            .path_to(g_, dem.target),
+        graph::legacy::dijkstra(g_, dem.source, dynamic_length(),
+                                full_filter())
+            .path_to(g_, dem.target));
     bool repaired = false;
     if (path) {
       graph::NodeId at = path->start;
@@ -656,14 +665,16 @@ class Engine {
   /// infeasible even with every remaining element repaired.
   bool exact_completion() {
     auto pending_cost = [this](graph::EdgeId e) {
-      const graph::Edge& edge = g_.edge(e);
+      const auto [eu, ev] = g_.edge_endpoints(e);
       double c = 0.0;
-      if (edge.broken && !state_.edge_repaired(e)) c += edge.repair_cost;
-      if (g_.node(edge.u).broken && !state_.node_repaired(edge.u)) {
-        c += g_.node(edge.u).repair_cost / 2.0;
+      if (g_.edge_broken(e) && !state_.edge_repaired(e)) {
+        c += g_.edge_repair_cost(e);
       }
-      if (g_.node(edge.v).broken && !state_.node_repaired(edge.v)) {
-        c += g_.node(edge.v).repair_cost / 2.0;
+      if (g_.node_broken(eu) && !state_.node_repaired(eu)) {
+        c += g_.node_repair_cost(eu) / 2.0;
+      }
+      if (g_.node_broken(ev) && !state_.node_repaired(ev)) {
+        c += g_.node_repair_cost(ev) / 2.0;
       }
       return c;
     };
@@ -699,25 +710,25 @@ class Engine {
     for (const mcf::PathFlow& flow : result.routing.flows) {
       if (flow.amount <= opt_.tolerance) continue;
       for (graph::NodeId n : flow.path.nodes(g_)) {
-        if (g_.node(n).broken && !state_.node_repaired(n)) {
+        if (g_.node_broken(n) && !state_.node_repaired(n)) {
           cand_node[static_cast<std::size_t>(n)] = 1;
         }
       }
       for (graph::EdgeId e : flow.path.edges) {
-        if (g_.edge(e).broken && !state_.edge_repaired(e)) {
+        if (g_.edge_broken(e) && !state_.edge_repaired(e)) {
           cand_edge[static_cast<std::size_t>(e)] = 1;
         }
       }
     }
     auto hypothetical = [&](graph::EdgeId e) {
       if (residual_[static_cast<std::size_t>(e)] <= kEps) return false;
-      const graph::Edge& edge = g_.edge(e);
+      const auto [eu, ev] = g_.edge_endpoints(e);
       auto node_ok = [&](graph::NodeId n) {
         return state_.node_ok(n) || cand_node[static_cast<std::size_t>(n)];
       };
-      const bool edge_fixed = !edge.broken || state_.edge_repaired(e) ||
+      const bool edge_fixed = !g_.edge_broken(e) || state_.edge_repaired(e) ||
                               cand_edge[static_cast<std::size_t>(e)];
-      return edge_fixed && node_ok(edge.u) && node_ok(edge.v);
+      return edge_fixed && node_ok(eu) && node_ok(ev);
     };
     auto still_routable = [&]() {
       if (lp_sessions()) {
@@ -744,13 +755,13 @@ class Engine {
     for (std::size_t n = 0; n < g_.num_nodes(); ++n) {
       if (cand_node[n]) {
         order.push_back({true, static_cast<int>(n),
-                         g_.node(static_cast<graph::NodeId>(n)).repair_cost});
+                         g_.node_repair_cost(static_cast<graph::NodeId>(n))});
       }
     }
     for (std::size_t e = 0; e < g_.num_edges(); ++e) {
       if (cand_edge[e]) {
         order.push_back({false, static_cast<int>(e),
-                         g_.edge(static_cast<graph::EdgeId>(e)).repair_cost});
+                         g_.edge_repair_cost(static_cast<graph::EdgeId>(e))});
       }
     }
     std::stable_sort(order.begin(), order.end(),

@@ -19,11 +19,11 @@ void score_solution(const RecoveryProblem& problem,
   solution.repair_cost = 0.0;
   for (graph::NodeId n : solution.repaired_nodes) {
     state.repair_node(n);
-    solution.repair_cost += problem.graph.node(n).repair_cost;
+    solution.repair_cost += problem.graph.node_repair_cost(n);
   }
   for (graph::EdgeId e : solution.repaired_edges) {
     state.repair_edge(e);
-    solution.repair_cost += problem.graph.edge(e).repair_cost;
+    solution.repair_cost += problem.graph.edge_repair_cost(e);
   }
   solution.routing = mcf::max_routed_flow(
       problem.graph, problem.demands, state.edge_filter(),
@@ -42,7 +42,7 @@ std::string validate_solution(const RecoveryProblem& problem,
     if (n < 0 || static_cast<std::size_t>(n) >= problem.graph.num_nodes()) {
       return "repaired node id out of range";
     }
-    if (!problem.graph.node(n).broken) return "repaired node was not broken";
+    if (!problem.graph.node_broken(n)) return "repaired node was not broken";
     if (!nodes.insert(n).second) return "node repaired twice";
   }
   std::unordered_set<graph::EdgeId> edges;
@@ -50,7 +50,7 @@ std::string validate_solution(const RecoveryProblem& problem,
     if (e < 0 || static_cast<std::size_t>(e) >= problem.graph.num_edges()) {
       return "repaired edge id out of range";
     }
-    if (!problem.graph.edge(e).broken) return "repaired edge was not broken";
+    if (!problem.graph.edge_broken(e)) return "repaired edge was not broken";
     if (!edges.insert(e).second) return "edge repaired twice";
   }
 

@@ -11,20 +11,20 @@ RepairState::RepairState(const graph::Graph& g)
 
 bool RepairState::repair_node(graph::NodeId n) {
   g_.check_node(n);
-  if (!g_.node(n).broken || node_repaired(n)) return false;
+  if (!g_.node_broken(n) || node_repaired(n)) return false;
   node_repaired_[static_cast<std::size_t>(n)] = 1;
   repaired_node_list_.push_back(n);
-  cost_ += g_.node(n).repair_cost;
+  cost_ += g_.node_repair_cost(n);
   if (cache_) cache_->invalidate_node(n);
   return true;
 }
 
 bool RepairState::repair_edge(graph::EdgeId e) {
   g_.check_edge(e);
-  if (!g_.edge(e).broken || edge_repaired(e)) return false;
+  if (!g_.edge_broken(e) || edge_repaired(e)) return false;
   edge_repaired_[static_cast<std::size_t>(e)] = 1;
   repaired_edge_list_.push_back(e);
-  cost_ += g_.edge(e).repair_cost;
+  cost_ += g_.edge_repair_cost(e);
   if (cache_) cache_->invalidate_edge(e);
   return true;
 }
@@ -40,13 +40,13 @@ void RepairState::repair_path(const graph::Path& path) {
 }
 
 bool RepairState::node_ok(graph::NodeId n) const {
-  return !g_.node(n).broken || node_repaired(n);
+  return !g_.node_broken(n) || node_repaired(n);
 }
 
 bool RepairState::edge_ok(graph::EdgeId e) const {
-  const graph::Edge& edge = g_.edge(e);
-  if (edge.broken && !edge_repaired(e)) return false;
-  return node_ok(edge.u) && node_ok(edge.v);
+  if (g_.edge_broken(e) && !edge_repaired(e)) return false;
+  const auto [eu, ev] = g_.edge_endpoints(e);
+  return node_ok(eu) && node_ok(ev);
 }
 
 graph::EdgeFilter RepairState::edge_filter() const {

@@ -14,9 +14,9 @@ std::pair<double, double> barycenter(const graph::Graph& g) {
   double sx = 0.0;
   double sy = 0.0;
   if (g.num_nodes() == 0) return {0.0, 0.0};
-  for (const auto& n : g.nodes()) {
-    sx += n.x;
-    sy += n.y;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    sx += g.node_x(static_cast<graph::NodeId>(i));
+    sy += g.node_y(static_cast<graph::NodeId>(i));
   }
   const double inv = 1.0 / static_cast<double>(g.num_nodes());
   return {sx * inv, sy * inv};
@@ -31,8 +31,10 @@ DisruptionReport gaussian_disaster(graph::Graph& g,
 
   // Scene normalisation: farthest node -> distance scene_radius.
   double max_dist = 0.0;
-  for (const auto& n : g.nodes()) {
-    max_dist = std::max(max_dist, std::hypot(n.x - ex, n.y - ey));
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto id = static_cast<graph::NodeId>(i);
+    max_dist =
+        std::max(max_dist, std::hypot(g.node_x(id) - ex, g.node_y(id) - ey));
   }
   const double scale = max_dist > 0.0 ? options.scene_radius / max_dist : 0.0;
 
@@ -45,20 +47,20 @@ DisruptionReport gaussian_disaster(graph::Graph& g,
   };
 
   for (std::size_t i = 0; i < g.num_nodes(); ++i) {
-    auto& node = g.node(static_cast<graph::NodeId>(i));
-    if (!node.broken && rng.chance(failure_probability(node.x, node.y))) {
-      node.broken = true;
+    const auto id = static_cast<graph::NodeId>(i);
+    if (!g.node_broken(id) &&
+        rng.chance(failure_probability(g.node_x(id), g.node_y(id)))) {
+      g.set_node_broken(id, true);
       ++report.broken_nodes;
     }
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    auto& edge = g.edge(static_cast<graph::EdgeId>(e));
-    const auto& u = g.node(edge.u);
-    const auto& v = g.node(edge.v);
-    const double mx = (u.x + v.x) / 2.0;
-    const double my = (u.y + v.y) / 2.0;
-    if (!edge.broken && rng.chance(failure_probability(mx, my))) {
-      edge.broken = true;
+    const auto id = static_cast<graph::EdgeId>(e);
+    const auto [eu, ev] = g.edge_endpoints(id);
+    const double mx = (g.node_x(eu) + g.node_x(ev)) / 2.0;
+    const double my = (g.node_y(eu) + g.node_y(ev)) / 2.0;
+    if (!g.edge_broken(id) && rng.chance(failure_probability(mx, my))) {
+      g.set_edge_broken(id, true);
       ++report.broken_edges;
     }
   }
@@ -69,20 +71,20 @@ DisruptionReport circular_disaster(graph::Graph& g, double cx, double cy,
                                    double radius) {
   DisruptionReport report;
   for (std::size_t i = 0; i < g.num_nodes(); ++i) {
-    auto& node = g.node(static_cast<graph::NodeId>(i));
-    if (!node.broken && std::hypot(node.x - cx, node.y - cy) <= radius) {
-      node.broken = true;
+    const auto id = static_cast<graph::NodeId>(i);
+    if (!g.node_broken(id) &&
+        std::hypot(g.node_x(id) - cx, g.node_y(id) - cy) <= radius) {
+      g.set_node_broken(id, true);
       ++report.broken_nodes;
     }
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    auto& edge = g.edge(static_cast<graph::EdgeId>(e));
-    const auto& u = g.node(edge.u);
-    const auto& v = g.node(edge.v);
-    const double mx = (u.x + v.x) / 2.0;
-    const double my = (u.y + v.y) / 2.0;
-    if (!edge.broken && std::hypot(mx - cx, my - cy) <= radius) {
-      edge.broken = true;
+    const auto id = static_cast<graph::EdgeId>(e);
+    const auto [eu, ev] = g.edge_endpoints(id);
+    const double mx = (g.node_x(eu) + g.node_x(ev)) / 2.0;
+    const double my = (g.node_y(eu) + g.node_y(ev)) / 2.0;
+    if (!g.edge_broken(id) && std::hypot(mx - cx, my - cy) <= radius) {
+      g.set_edge_broken(id, true);
       ++report.broken_edges;
     }
   }
@@ -93,16 +95,16 @@ DisruptionReport random_failures(graph::Graph& g, double node_probability,
                                  double edge_probability, util::Rng& rng) {
   DisruptionReport report;
   for (std::size_t i = 0; i < g.num_nodes(); ++i) {
-    auto& node = g.node(static_cast<graph::NodeId>(i));
-    if (!node.broken && rng.chance(node_probability)) {
-      node.broken = true;
+    const auto id = static_cast<graph::NodeId>(i);
+    if (!g.node_broken(id) && rng.chance(node_probability)) {
+      g.set_node_broken(id, true);
       ++report.broken_nodes;
     }
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    auto& edge = g.edge(static_cast<graph::EdgeId>(e));
-    if (!edge.broken && rng.chance(edge_probability)) {
-      edge.broken = true;
+    const auto id = static_cast<graph::EdgeId>(e);
+    if (!g.edge_broken(id) && rng.chance(edge_probability)) {
+      g.set_edge_broken(id, true);
       ++report.broken_edges;
     }
   }
@@ -148,11 +150,11 @@ DisruptionReport CascadeModel::advance(
     }
     std::size_t broke = 0;
     for (std::size_t e = 0; e < g.num_edges(); ++e) {
-      graph::Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
-      if (edge.broken) continue;
+      const auto id = static_cast<graph::EdgeId>(e);
+      if (g.edge_broken(id)) continue;
       if (load[e] >
-          opt_.overload_factor * edge.capacity + opt_.tolerance) {
-        edge.broken = true;
+          opt_.overload_factor * g.edge_capacity(id) + opt_.tolerance) {
+        g.set_edge_broken(id, true);
         ++broke;
       }
     }

@@ -104,6 +104,7 @@ std::vector<double> betweenness_centrality(const Graph& g,
   return betweenness_centrality(GraphView::build(g, config));
 }
 
+#if defined(NETREC_ENABLE_LEGACY)
 namespace legacy {
 
 std::vector<double> betweenness_centrality(const Graph& g,
@@ -176,5 +177,6 @@ std::vector<double> betweenness_centrality(const Graph& g,
 }
 
 }  // namespace legacy
+#endif  // NETREC_ENABLE_LEGACY
 
 }  // namespace netrec::graph

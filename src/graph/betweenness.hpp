@@ -33,6 +33,7 @@ std::vector<double> betweenness_centrality(const Graph& g,
                                            const EdgeFilter& edge_ok = {},
                                            const NodeFilter& node_ok = {});
 
+#if defined(NETREC_ENABLE_LEGACY)
 namespace legacy {
 
 /// Reference std::function-based implementation (bit-identical scores),
@@ -43,5 +44,6 @@ std::vector<double> betweenness_centrality(const Graph& g,
                                            const NodeFilter& node_ok = {});
 
 }  // namespace legacy
+#endif  // NETREC_ENABLE_LEGACY
 
 }  // namespace netrec::graph

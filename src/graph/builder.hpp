@@ -1,0 +1,93 @@
+// Two-phase graph construction: Builder accumulates flat SoA columns with
+// O(1) appends (no adjacency maintenance, no per-edge duplicate scan), then
+// finalize() validates the whole batch at once — duplicate edges, id range,
+// 32-bit overflow — and emits a finalized Graph whose incidence is already
+// CSR-packed and neighbour-sorted.
+//
+// This is the construction path for internet-scale instances: Graph::add_edge
+// pays an O(d) duplicate probe per insert (quadratic on hubs of a 10^6-node
+// RMAT/Barabási–Albert draw), while Builder defers uniqueness to one
+// O(E log E) sort at finalize.  The binary topology loader (ntb.hpp) and the
+// scale generators (topology/generator.hpp) build exclusively through here.
+//
+// Options::degree_order relabels node ids by descending finalized degree
+// (ties by original id) before packing — the GAPBS-style layout that puts
+// hub adjacency slices at the front of the arc array for locality.  Edge ids
+// keep their insertion order either way; node_permutation() exposes the
+// old-id -> new-id map so callers can translate externally-held ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace netrec::graph {
+
+class Builder {
+ public:
+  struct Options {
+    /// Relabel node ids by descending degree (ties by original id) at
+    /// finalize.  Off by default: id stability is part of every golden.
+    bool degree_order = false;
+  };
+
+  Builder() = default;
+  explicit Builder(Options options) : options_(options) {}
+
+  void reserve(std::size_t nodes, std::size_t edges);
+
+  /// Appends one node; returns its id (dense, 0-based, pre-relabel).
+  NodeId add_node(std::string_view name = {}, double x = 0.0, double y = 0.0,
+                  double repair_cost = 1.0);
+
+  /// Appends `count` unnamed nodes at the origin; returns the first id.
+  /// The bulk path for generators where names would be pure overhead.
+  NodeId add_nodes(std::size_t count, double repair_cost = 1.0);
+
+  /// Appends an edge.  Endpoints must already exist; self-loops throw here,
+  /// duplicates are detected at finalize() (batch sort) rather than per call.
+  EdgeId add_edge(NodeId u, NodeId v, double capacity,
+                  double repair_cost = 1.0);
+
+  // --- bulk adoption (binary loader / conversion pipelines) --------------
+
+  /// Moves whole node columns in; any prior content is replaced.  `broken`,
+  /// `name_blob`/`name_offsets` may be empty (none broken / unnamed).
+  void adopt_nodes(std::vector<double> xs, std::vector<double> ys,
+                   std::vector<double> repair_costs,
+                   std::vector<std::uint8_t> broken, std::string name_blob,
+                   std::vector<std::uint32_t> name_offsets);
+
+  /// Moves whole edge columns in; any prior content is replaced.
+  void adopt_edges(std::vector<NodeId> sources, std::vector<NodeId> targets,
+                   std::vector<double> capacities,
+                   std::vector<double> repair_costs,
+                   std::vector<std::uint8_t> broken);
+
+  std::size_t num_nodes() const { return g_.num_nodes(); }
+  std::size_t num_edges() const { return g_.num_edges(); }
+
+  /// Validates the batch (column sizes, endpoint ranges, finite nonnegative
+  /// metrics, duplicate edges, 2^31 id ceiling) and returns the finalized
+  /// graph.  Throws std::invalid_argument/std::length_error with the first
+  /// offending element named; the Builder is left empty either way.
+  Graph finalize();
+
+  /// Old-id -> new-id node map of the last finalize() (identity when
+  /// degree_order is off).
+  const std::vector<NodeId>& node_permutation() const { return permutation_; }
+
+ private:
+  void validate_columns() const;
+  void check_duplicates() const;
+  void apply_degree_order();
+
+  Options options_;
+  Graph g_;  // used as an SoA column store; adjacency built at finalize only
+  std::vector<NodeId> permutation_;
+};
+
+}  // namespace netrec::graph

@@ -254,6 +254,7 @@ std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
 
 // --- legacy reference implementations --------------------------------------
 
+#if defined(NETREC_ENABLE_LEGACY)
 namespace legacy {
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
@@ -345,5 +346,6 @@ std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
 }
 
 }  // namespace legacy
+#endif  // NETREC_ENABLE_LEGACY
 
 }  // namespace netrec::graph

@@ -111,6 +111,7 @@ std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
                                 const EdgeFilter& edge_ok = {},
                                 const NodeFilter& node_ok = {});
 
+#if defined(NETREC_ENABLE_LEGACY)
 namespace legacy {
 
 /// Reference std::function-based implementations, preserved for the
@@ -127,5 +128,6 @@ std::optional<Path> widest_path(const Graph& g, NodeId source, NodeId target,
                                 const NodeFilter& node_ok = {});
 
 }  // namespace legacy
+#endif  // NETREC_ENABLE_LEGACY
 
 }  // namespace netrec::graph

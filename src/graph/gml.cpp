@@ -240,7 +240,7 @@ Graph parse_gml(const std::string& text, const GmlOptions& options) {
                                std::to_string(id_key));
     }
     if (get_number(record, "broken").value_or(0.0) != 0.0) {
-      g.node(node).broken = true;
+      g.set_node_broken(node, true);
     }
   }
   for (const auto& [kind, record] : blocks) {
@@ -270,7 +270,7 @@ Graph parse_gml(const std::string& text, const GmlOptions& options) {
         "cost", "edge from node", source_key, /*require_nonnegative=*/true);
     const EdgeId edge = g.add_edge(su->second, sv->second, capacity, cost);
     if (get_number(record, "broken").value_or(0.0) != 0.0) {
-      g.edge(edge).broken = true;
+      g.set_edge_broken(edge, true);
     }
   }
   return g;
@@ -288,17 +288,18 @@ std::string to_gml(const Graph& g) {
   std::ostringstream out;
   out << "graph [\n  directed 0\n";
   for (std::size_t i = 0; i < g.num_nodes(); ++i) {
-    const Node& n = g.node(static_cast<NodeId>(i));
-    out << "  node [\n    id " << i << "\n    label \"" << n.name
-        << "\"\n    x " << n.x << "\n    y " << n.y << "\n    cost "
-        << n.repair_cost << "\n    broken " << (n.broken ? 1 : 0)
-        << "\n  ]\n";
+    const auto id = static_cast<NodeId>(i);
+    out << "  node [\n    id " << i << "\n    label \"" << g.node_name(id)
+        << "\"\n    x " << g.node_x(id) << "\n    y " << g.node_y(id)
+        << "\n    cost " << g.node_repair_cost(id) << "\n    broken "
+        << (g.node_broken(id) ? 1 : 0) << "\n  ]\n";
   }
   for (std::size_t i = 0; i < g.num_edges(); ++i) {
-    const Edge& e = g.edge(static_cast<EdgeId>(i));
-    out << "  edge [\n    source " << e.u << "\n    target " << e.v
-        << "\n    capacity " << e.capacity << "\n    cost " << e.repair_cost
-        << "\n    broken " << (e.broken ? 1 : 0) << "\n  ]\n";
+    const auto id = static_cast<EdgeId>(i);
+    out << "  edge [\n    source " << g.edge_u(id) << "\n    target "
+        << g.edge_v(id) << "\n    capacity " << g.edge_capacity(id)
+        << "\n    cost " << g.edge_repair_cost(id) << "\n    broken "
+        << (g.edge_broken(id) ? 1 : 0) << "\n  ]\n";
   }
   out << "]\n";
   return out.str();

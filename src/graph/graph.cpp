@@ -6,23 +6,51 @@
 
 namespace netrec::graph {
 
-NodeId Graph::add_node(std::string name, double x, double y,
+void Graph::require_mutable_topology(const char* op) const {
+  if (finalized_) {
+    throw std::logic_error(std::string("Graph: ") + op +
+                           " on a finalized graph (topology is immutable "
+                           "after finalize(); state setters remain valid)");
+  }
+}
+
+void Graph::append_name(std::string_view name) {
+  if (name_off_.empty()) {
+    if (name.empty()) return;  // stay lazy while everything is unnamed
+    // First named node: materialise empty slices for every prior node.  The
+    // node being named is already pushed, so node count is V_prior + 1 and
+    // assign() writes exactly the V_prior + 1 slice starts (all zero); the
+    // push below adds the new name's end boundary -> V + 1 offsets total.
+    name_off_.assign(node_x_.size(), 0);
+  }
+  name_blob_.append(name.data(), name.size());
+  if (name_blob_.size() > 0xffffffffull) {
+    throw std::length_error("Graph: node name arena exceeds 4 GiB");
+  }
+  name_off_.push_back(static_cast<std::uint32_t>(name_blob_.size()));
+}
+
+NodeId Graph::add_node(std::string_view name, double x, double y,
                        double repair_cost) {
+  require_mutable_topology("add_node");
   if (!(repair_cost >= 0.0)) {  // rejects NaN and negatives alike
     throw std::invalid_argument("Graph: node repair cost must be >= 0");
   }
-  Node n;
-  n.name = std::move(name);
-  n.x = x;
-  n.y = y;
-  n.repair_cost = repair_cost;
-  nodes_.push_back(std::move(n));
-  adjacency_.emplace_back();
-  return static_cast<NodeId>(nodes_.size() - 1);
+  if (num_nodes() >= kMaxGraphElements) {
+    throw std::length_error("Graph: node count exceeds 2^31 (32-bit ids)");
+  }
+  node_x_.push_back(x);
+  node_y_.push_back(y);
+  node_repair_cost_.push_back(repair_cost);
+  node_broken_.push_back(0);
+  dyn_adjacency_.emplace_back();
+  append_name(name);
+  return static_cast<NodeId>(node_x_.size() - 1);
 }
 
 EdgeId Graph::add_edge(NodeId u, NodeId v, double capacity,
                        double repair_cost) {
+  require_mutable_topology("add_edge");
   check_node(u);
   check_node(v);
   if (u == v) throw std::invalid_argument("Graph: self-loops not supported");
@@ -37,22 +65,90 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, double capacity,
   if (!(repair_cost >= 0.0)) {
     throw std::invalid_argument("Graph: edge repair cost must be >= 0");
   }
-  Edge e;
-  e.u = u;
-  e.v = v;
-  e.capacity = capacity;
-  e.repair_cost = repair_cost;
-  edges_.push_back(e);
-  const auto id = static_cast<EdgeId>(edges_.size() - 1);
-  adjacency_[static_cast<std::size_t>(u)].push_back(id);
-  adjacency_[static_cast<std::size_t>(v)].push_back(id);
+  if (num_edges() >= kMaxGraphElements) {
+    throw std::length_error("Graph: edge count exceeds 2^31 (32-bit ids)");
+  }
+  edge_u_.push_back(u);
+  edge_v_.push_back(v);
+  edge_capacity_.push_back(capacity);
+  edge_repair_cost_.push_back(repair_cost);
+  edge_broken_.push_back(0);
+  const auto id = static_cast<EdgeId>(edge_u_.size() - 1);
+  dyn_adjacency_[static_cast<std::size_t>(u)].push_back(id);
+  dyn_adjacency_[static_cast<std::size_t>(v)].push_back(id);
   return id;
 }
 
+std::string_view Graph::node_name(NodeId id) const {
+  check_node(id);
+  if (name_off_.empty()) return {};  // lazy arena: no node was ever named
+  const std::size_t i = index(id);
+  const std::uint32_t begin = name_off_[i];
+  const std::uint32_t end = name_off_[i + 1];
+  return std::string_view(name_blob_).substr(begin, end - begin);
+}
+
+NodeId Graph::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    if (node_name(static_cast<NodeId>(i)) == name) {
+      return static_cast<NodeId>(i);
+    }
+  }
+  return kInvalidNode;
+}
+
+void Graph::set_node_position(NodeId id, double x, double y) {
+  const std::size_t i = index(id);
+  check_node(id);
+  node_x_[i] = x;
+  node_y_[i] = y;
+}
+
+void Graph::set_node_repair_cost(NodeId id, double repair_cost) {
+  check_node(id);
+  if (!(repair_cost >= 0.0)) {
+    throw std::invalid_argument("Graph: node repair cost must be >= 0");
+  }
+  node_repair_cost_[index(id)] = repair_cost;
+}
+
+void Graph::set_node_broken(NodeId id, bool broken) {
+  check_node(id);
+  std::uint8_t& flag = node_broken_[index(id)];
+  if ((flag != 0) == broken) return;
+  flag = broken ? 1 : 0;
+  broken_node_count_ += broken ? 1 : -1;
+}
+
+void Graph::set_edge_capacity(EdgeId id, double capacity) {
+  check_edge(id);
+  if (!(capacity >= 0.0)) {
+    throw std::invalid_argument("Graph: capacity must be >= 0 and not NaN");
+  }
+  edge_capacity_[index_e(id)] = capacity;
+}
+
+void Graph::set_edge_repair_cost(EdgeId id, double repair_cost) {
+  check_edge(id);
+  if (!(repair_cost >= 0.0)) {
+    throw std::invalid_argument("Graph: edge repair cost must be >= 0");
+  }
+  edge_repair_cost_[index_e(id)] = repair_cost;
+}
+
+void Graph::set_edge_broken(EdgeId id, bool broken) {
+  check_edge(id);
+  std::uint8_t& flag = edge_broken_[index_e(id)];
+  if ((flag != 0) == broken) return;
+  flag = broken ? 1 : 0;
+  broken_edge_count_ += broken ? 1 : -1;
+}
+
 NodeId Graph::other_endpoint(EdgeId edge_id, NodeId from) const {
-  const Edge& e = edge(edge_id);
-  if (e.u == from) return e.v;
-  if (e.v == from) return e.u;
+  check_edge(edge_id);
+  const std::size_t e = index_e(edge_id);
+  if (edge_u_[e] == from) return edge_v_[e];
+  if (edge_v_[e] == from) return edge_u_[e];
   throw std::invalid_argument("Graph: node " + std::to_string(from) +
                               " is not an endpoint of edge " +
                               std::to_string(edge_id));
@@ -64,81 +160,140 @@ EdgeId Graph::find_edge(NodeId u, NodeId v) const {
   // Search from the lower-degree endpoint.
   const NodeId base = degree(u) <= degree(v) ? u : v;
   const NodeId target = base == u ? v : u;
-  for (EdgeId id : adjacency_[static_cast<std::size_t>(base)]) {
-    if (other_endpoint(id, base) == target) return id;
+  if (finalized_) {
+    // Binary search over the neighbour-sorted secondary index.
+    const std::size_t lo = inc_off_[index(base)];
+    const std::size_t hi = inc_off_[index(base) + 1];
+    const NodeId* first = sorted_nbr_.data() + lo;
+    const NodeId* last = sorted_nbr_.data() + hi;
+    const NodeId* it = std::lower_bound(first, last, target);
+    if (it != last && *it == target) {
+      return sorted_edge_[lo + static_cast<std::size_t>(it - first)];
+    }
+    return kInvalidEdge;
+  }
+  for (EdgeId id : dyn_adjacency_[index(base)]) {
+    const std::size_t e = index_e(id);
+    const NodeId head = edge_u_[e] == base ? edge_v_[e] : edge_u_[e];
+    if (head == target) return id;
   }
   return kInvalidEdge;
 }
 
 std::size_t Graph::max_degree() const {
   std::size_t best = 0;
-  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    best = std::max(best, degree(static_cast<NodeId>(i)));
+  }
   return best;
 }
 
+void Graph::build_sorted_index() {
+  const std::size_t arcs = inc_edge_.size();
+  sorted_nbr_.resize(arcs);
+  sorted_edge_.resize(arcs);
+  // Per-node sort of (neighbour, edge) pairs; parallel edges are rejected at
+  // construction, so neighbours within a slice are unique and the order is
+  // fully determined by the neighbour id.
+  std::vector<std::pair<NodeId, EdgeId>> scratch;
+  for (std::size_t i = 0; i + 1 < inc_off_.size(); ++i) {
+    const std::size_t lo = inc_off_[i];
+    const std::size_t hi = inc_off_[i + 1];
+    scratch.clear();
+    scratch.reserve(hi - lo);
+    for (std::size_t a = lo; a < hi; ++a) {
+      const std::size_t e = index_e(inc_edge_[a]);
+      const NodeId head = edge_u_[e] == static_cast<NodeId>(i) ? edge_v_[e]
+                                                               : edge_u_[e];
+      scratch.emplace_back(head, inc_edge_[a]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (std::size_t k = 0; k < scratch.size(); ++k) {
+      sorted_nbr_[lo + k] = scratch[k].first;
+      sorted_edge_[lo + k] = scratch[k].second;
+    }
+  }
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  const std::size_t n = num_nodes();
+  const std::size_t m = num_edges();
+  // Counting-sort the edges into CSR slices.  Appending edges in id order
+  // reproduces the per-node insertion order exactly (dynamic adjacency push
+  // order is edge-creation order), so iteration contracts are unchanged.
+  inc_off_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++inc_off_[static_cast<std::size_t>(edge_u_[e]) + 1];
+    ++inc_off_[static_cast<std::size_t>(edge_v_[e]) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) inc_off_[i + 1] += inc_off_[i];
+  inc_edge_.resize(2 * m);
+  std::vector<std::uint32_t> cursor(inc_off_.begin(), inc_off_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    inc_edge_[cursor[static_cast<std::size_t>(edge_u_[e])]++] =
+        static_cast<EdgeId>(e);
+    inc_edge_[cursor[static_cast<std::size_t>(edge_v_[e])]++] =
+        static_cast<EdgeId>(e);
+  }
+  build_sorted_index();
+  dyn_adjacency_.clear();
+  dyn_adjacency_.shrink_to_fit();
+  finalized_ = true;
+}
+
 void Graph::break_everything() {
-  for (auto& n : nodes_) n.broken = true;
-  for (auto& e : edges_) e.broken = true;
+  std::fill(node_broken_.begin(), node_broken_.end(), 1);
+  std::fill(edge_broken_.begin(), edge_broken_.end(), 1);
+  broken_node_count_ = num_nodes();
+  broken_edge_count_ = num_edges();
 }
 
 void Graph::repair_everything() {
-  for (auto& n : nodes_) n.broken = false;
-  for (auto& e : edges_) e.broken = false;
+  std::fill(node_broken_.begin(), node_broken_.end(), 0);
+  std::fill(edge_broken_.begin(), edge_broken_.end(), 0);
+  broken_node_count_ = 0;
+  broken_edge_count_ = 0;
 }
 
 std::vector<NodeId> Graph::broken_nodes() const {
   std::vector<NodeId> out;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].broken) out.push_back(static_cast<NodeId>(i));
+  out.reserve(broken_node_count_);
+  for (std::size_t i = 0; i < node_broken_.size(); ++i) {
+    if (node_broken_[i] != 0) out.push_back(static_cast<NodeId>(i));
   }
   return out;
 }
 
 std::vector<EdgeId> Graph::broken_edges() const {
   std::vector<EdgeId> out;
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    if (edges_[i].broken) out.push_back(static_cast<EdgeId>(i));
+  out.reserve(broken_edge_count_);
+  for (std::size_t i = 0; i < edge_broken_.size(); ++i) {
+    if (edge_broken_[i] != 0) out.push_back(static_cast<EdgeId>(i));
   }
   return out;
 }
 
-std::size_t Graph::num_broken_nodes() const {
-  return static_cast<std::size_t>(
-      std::count_if(nodes_.begin(), nodes_.end(),
-                    [](const Node& n) { return n.broken; }));
-}
-
-std::size_t Graph::num_broken_edges() const {
-  return static_cast<std::size_t>(
-      std::count_if(edges_.begin(), edges_.end(),
-                    [](const Edge& e) { return e.broken; }));
-}
-
-bool Graph::edge_usable(EdgeId id) const {
-  const Edge& e = edge(id);
-  return !e.broken && !node(e.u).broken && !node(e.v).broken;
-}
-
 double Graph::total_repair_cost() const {
   double cost = 0.0;
-  for (const auto& n : nodes_) {
-    if (n.broken) cost += n.repair_cost;
+  for (std::size_t i = 0; i < node_broken_.size(); ++i) {
+    if (node_broken_[i] != 0) cost += node_repair_cost_[i];
   }
-  for (const auto& e : edges_) {
-    if (e.broken) cost += e.repair_cost;
+  for (std::size_t e = 0; e < edge_broken_.size(); ++e) {
+    if (edge_broken_[e] != 0) cost += edge_repair_cost_[e];
   }
   return cost;
 }
 
 void Graph::check_node(NodeId id) const {
-  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+  if (id < 0 || static_cast<std::size_t>(id) >= num_nodes()) {
     throw std::invalid_argument("Graph: node id " + std::to_string(id) +
                                 " out of range");
   }
 }
 
 void Graph::check_edge(EdgeId id) const {
-  if (id < 0 || static_cast<std::size_t>(id) >= edges_.size()) {
+  if (id < 0 || static_cast<std::size_t>(id) >= num_edges()) {
     throw std::invalid_argument("Graph: edge id " + std::to_string(id) +
                                 " out of range");
   }

@@ -5,15 +5,38 @@
 // disruption marks subsets V_B / E_B broken.  Nodes carry coordinates so the
 // geographically-correlated disruption models (Section VII-A3) can be applied.
 //
-// The class stores full topology including broken elements: ISP's centrality
-// (eq. 3) is computed on the complete graph, while routing runs on the
-// working subgraph.  Algorithms therefore take explicit usability filters
-// rather than operating on a mutated copy.
+// Storage is flat SoA: every per-node and per-edge attribute lives in its own
+// contiguous vector (coordinates, repair costs, capacities, broken flags,
+// edge endpoints), and node names are interned in a side arena — no
+// std::string, no per-element allocation in the hot structure.  The class
+// stores full topology including broken elements: ISP's centrality (eq. 3)
+// is computed on the complete graph, while routing runs on the working
+// subgraph.  Algorithms therefore take explicit usability filters rather
+// than operating on a mutated copy.
+//
+// Two topology phases exist:
+//   * dynamic — add_node/add_edge grow per-node adjacency vectors; this is
+//     the historical construction path every generator and loader uses.
+//   * finalized — finalize() (or graph::Builder, see builder.hpp) packs the
+//     incidence lists into a CSR pair (offsets + edge ids, insertion order
+//     preserved) plus a neighbour-sorted secondary index, making degree O(1)
+//     and find_edge O(log d).  The topology becomes immutable (add_* throws)
+//     while element *state* — broken flags, costs, capacities — stays
+//     mutable.  GraphView::build takes a no-callback fast path over the
+//     packed arrays, so snapshotting a finalized graph is a flat copy rather
+//     than an adjacency re-flatten.
+//
+// Iteration order contracts are identical in both phases: incident_edges
+// yields edge ids in insertion order, so every downstream floating-point
+// tie-break (Dijkstra, Brandes, the LP column order) is bit-identical
+// whether or not the graph was finalized.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace netrec::graph {
@@ -24,68 +47,126 @@ using EdgeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr EdgeId kInvalidEdge = -1;
 
-struct Node {
-  std::string name;
-  double x = 0.0;  ///< geographic coordinate (used by disruption models)
-  double y = 0.0;
-  double repair_cost = 1.0;  ///< k^v_i
-  bool broken = false;       ///< i in V_B
+/// Id-space ceiling: ids are signed 32-bit, so any construction path must
+/// reject the 2^31-th node or edge with a clear error instead of wrapping.
+inline constexpr std::size_t kMaxGraphElements =
+    static_cast<std::size_t>(1) << 31;
+
+/// Non-owning view over a node's incident edge ids (insertion order).  Backed
+/// by the per-node adjacency vector in the dynamic phase and by the packed
+/// CSR slice after finalize(); either way it is a contiguous [begin, end).
+class EdgeSpan {
+ public:
+  EdgeSpan() = default;
+  EdgeSpan(const EdgeId* first, const EdgeId* last)
+      : first_(first), last_(last) {}
+
+  const EdgeId* begin() const { return first_; }
+  const EdgeId* end() const { return last_; }
+  std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+  bool empty() const { return first_ == last_; }
+  EdgeId operator[](std::size_t i) const { return first_[i]; }
+
+ private:
+  const EdgeId* first_ = nullptr;
+  const EdgeId* last_ = nullptr;
 };
 
-struct Edge {
-  NodeId u = kInvalidNode;
-  NodeId v = kInvalidNode;
-  double capacity = 0.0;     ///< c_ij
-  double repair_cost = 1.0;  ///< k^e_ij
-  bool broken = false;       ///< (i,j) in E_B
-};
+class Builder;
 
 class Graph {
  public:
   Graph() = default;
 
   /// Adds an isolated node; returns its id (ids are dense, 0-based).
-  NodeId add_node(std::string name = {}, double x = 0.0, double y = 0.0,
+  /// Throws std::logic_error on a finalized graph.
+  NodeId add_node(std::string_view name = {}, double x = 0.0, double y = 0.0,
                   double repair_cost = 1.0);
 
   /// Adds an undirected edge; parallel edges and self-loops are rejected
   /// (the paper's model has neither).  Returns the new edge id.
+  /// Throws std::logic_error on a finalized graph.
   EdgeId add_edge(NodeId u, NodeId v, double capacity,
                   double repair_cost = 1.0);
 
-  std::size_t num_nodes() const { return nodes_.size(); }
-  std::size_t num_edges() const { return edges_.size(); }
+  std::size_t num_nodes() const { return node_x_.size(); }
+  std::size_t num_edges() const { return edge_u_.size(); }
 
-  const Node& node(NodeId id) const {
-    return nodes_[static_cast<std::size_t>(id)];
-  }
-  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
-  const Edge& edge(EdgeId id) const {
-    return edges_[static_cast<std::size_t>(id)];
-  }
-  Edge& edge(EdgeId id) { return edges_[static_cast<std::size_t>(id)]; }
+  // --- per-node attributes ----------------------------------------------
 
-  const std::vector<Node>& nodes() const { return nodes_; }
-  const std::vector<Edge>& edges() const { return edges_; }
+  /// Interned name ("" for unnamed nodes); the view stays valid until the
+  /// next add_node call.
+  std::string_view node_name(NodeId id) const;
+  double node_x(NodeId id) const { return node_x_[index(id)]; }
+  double node_y(NodeId id) const { return node_y_[index(id)]; }
+  double node_repair_cost(NodeId id) const {
+    return node_repair_cost_[index(id)];
+  }
+  bool node_broken(NodeId id) const { return node_broken_[index(id)] != 0; }
+
+  void set_node_position(NodeId id, double x, double y);
+  void set_node_repair_cost(NodeId id, double repair_cost);
+  void set_node_broken(NodeId id, bool broken);
+
+  /// First node whose name equals `name`, or kInvalidNode (linear scan —
+  /// a convenience for examples and loaders, not a hot path).
+  NodeId find_node(std::string_view name) const;
+
+  // --- per-edge attributes ----------------------------------------------
+
+  NodeId edge_u(EdgeId id) const { return edge_u_[index_e(id)]; }
+  NodeId edge_v(EdgeId id) const { return edge_v_[index_e(id)]; }
+  std::pair<NodeId, NodeId> edge_endpoints(EdgeId id) const {
+    return {edge_u_[index_e(id)], edge_v_[index_e(id)]};
+  }
+  double edge_capacity(EdgeId id) const { return edge_capacity_[index_e(id)]; }
+  double edge_repair_cost(EdgeId id) const {
+    return edge_repair_cost_[index_e(id)];
+  }
+  bool edge_broken(EdgeId id) const { return edge_broken_[index_e(id)] != 0; }
+
+  void set_edge_capacity(EdgeId id, double capacity);
+  void set_edge_repair_cost(EdgeId id, double repair_cost);
+  void set_edge_broken(EdgeId id, bool broken);
+
+  // --- topology queries --------------------------------------------------
 
   /// Edge ids incident to `node`, in insertion order.
-  const std::vector<EdgeId>& incident_edges(NodeId node) const {
-    return adjacency_[static_cast<std::size_t>(node)];
+  EdgeSpan incident_edges(NodeId node) const {
+    const std::size_t i = index(node);
+    if (finalized_) {
+      return {inc_edge_.data() + inc_off_[i], inc_edge_.data() + inc_off_[i + 1]};
+    }
+    const auto& adj = dyn_adjacency_[i];
+    return {adj.data(), adj.data() + adj.size()};
   }
 
   /// The endpoint of `edge` that is not `from`.
   NodeId other_endpoint(EdgeId edge, NodeId from) const;
 
-  /// First edge between u and v (either orientation), or kInvalidEdge.
+  /// The edge between u and v (either orientation), or kInvalidEdge.
+  /// O(log d) on a finalized graph (binary search over the neighbour-sorted
+  /// index), O(d) linear scan in the dynamic phase.
   EdgeId find_edge(NodeId u, NodeId v) const;
 
-  /// Degree counting all incident edges (broken included).
+  /// Degree counting all incident edges (broken included).  O(1).
   std::size_t degree(NodeId node) const {
-    return adjacency_[static_cast<std::size_t>(node)].size();
+    const std::size_t i = index(node);
+    if (finalized_) return inc_off_[i + 1] - inc_off_[i];
+    return dyn_adjacency_[i].size();
   }
 
   /// Maximum degree over all nodes (the paper's eta_max).
   std::size_t max_degree() const;
+
+  // --- finalization ------------------------------------------------------
+
+  bool finalized() const { return finalized_; }
+
+  /// Packs the incidence structure into the immutable CSR core (idempotent).
+  /// Preserves ids and per-node insertion order exactly; only the lookup
+  /// complexity changes.  After this call add_node/add_edge throw.
+  void finalize();
 
   // --- disruption bookkeeping -------------------------------------------
 
@@ -97,11 +178,16 @@ class Graph {
 
   std::vector<NodeId> broken_nodes() const;
   std::vector<EdgeId> broken_edges() const;
-  std::size_t num_broken_nodes() const;
-  std::size_t num_broken_edges() const;
+  std::size_t num_broken_nodes() const { return broken_node_count_; }
+  std::size_t num_broken_edges() const { return broken_edge_count_; }
 
   /// An edge is usable iff itself and both endpoints are working.
-  bool edge_usable(EdgeId id) const;
+  bool edge_usable(EdgeId id) const {
+    const std::size_t e = index_e(id);
+    return edge_broken_[e] == 0 &&
+           node_broken_[static_cast<std::size_t>(edge_u_[e])] == 0 &&
+           node_broken_[static_cast<std::size_t>(edge_v_[e])] == 0;
+  }
 
   /// Sum of repair costs over all broken elements (cost of the ALL policy).
   double total_repair_cost() const;
@@ -110,10 +196,69 @@ class Graph {
   void check_node(NodeId id) const;
   void check_edge(EdgeId id) const;
 
+  // --- raw SoA access (serialisation & bulk pipelines) -------------------
+
+  const std::vector<double>& node_xs() const { return node_x_; }
+  const std::vector<double>& node_ys() const { return node_y_; }
+  const std::vector<double>& node_repair_costs() const {
+    return node_repair_cost_;
+  }
+  const std::vector<std::uint8_t>& node_broken_flags() const {
+    return node_broken_;
+  }
+  const std::vector<NodeId>& edge_sources() const { return edge_u_; }
+  const std::vector<NodeId>& edge_targets() const { return edge_v_; }
+  const std::vector<double>& edge_capacities() const { return edge_capacity_; }
+  const std::vector<double>& edge_repair_costs() const {
+    return edge_repair_cost_;
+  }
+  const std::vector<std::uint8_t>& edge_broken_flags() const {
+    return edge_broken_;
+  }
+  /// Name arena (offsets are empty when every node is unnamed).
+  const std::string& name_blob() const { return name_blob_; }
+  const std::vector<std::uint32_t>& name_offsets() const { return name_off_; }
+
  private:
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> adjacency_;
+  friend class Builder;
+
+  std::size_t index(NodeId id) const { return static_cast<std::size_t>(id); }
+  std::size_t index_e(EdgeId id) const { return static_cast<std::size_t>(id); }
+
+  void require_mutable_topology(const char* op) const;
+  void append_name(std::string_view name);
+  void build_sorted_index();
+
+  // node SoA
+  std::vector<double> node_x_;
+  std::vector<double> node_y_;
+  std::vector<double> node_repair_cost_;
+  std::vector<std::uint8_t> node_broken_;
+  // Name arena: name of node i is name_blob_[name_off_[i], name_off_[i+1]).
+  // Offsets stay empty while every node is unnamed (the bulk-built case).
+  std::string name_blob_;
+  std::vector<std::uint32_t> name_off_;
+
+  // edge SoA
+  std::vector<NodeId> edge_u_;
+  std::vector<NodeId> edge_v_;
+  std::vector<double> edge_capacity_;
+  std::vector<double> edge_repair_cost_;
+  std::vector<std::uint8_t> edge_broken_;
+
+  std::size_t broken_node_count_ = 0;
+  std::size_t broken_edge_count_ = 0;
+
+  // dynamic-phase incidence
+  std::vector<std::vector<EdgeId>> dyn_adjacency_;
+
+  // finalized core: CSR incidence (insertion order) + neighbour-sorted
+  // secondary index sharing the same offsets (find_edge binary search).
+  bool finalized_ = false;
+  std::vector<std::uint32_t> inc_off_;  ///< size V+1
+  std::vector<EdgeId> inc_edge_;        ///< size 2E
+  std::vector<NodeId> sorted_nbr_;      ///< size 2E
+  std::vector<EdgeId> sorted_edge_;     ///< size 2E
 };
 
 /// Predicate types used by the traversal/flow algorithms.  A default-

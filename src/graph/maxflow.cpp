@@ -154,9 +154,9 @@ MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
           if (!view.edge_in_view(id)) continue;
           const double cap = edge_capacity[e];
           if (cap <= kFlowEps) continue;
-          const Edge& edge = g.edge(id);
+          const auto [eu, ev] = g.edge_endpoints(id);
           arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
-          net.add_undirected(edge.u, edge.v, cap, id);
+          net.add_undirected(eu, ev, cap, id);
         }
       });
 }
@@ -177,15 +177,15 @@ MaxflowResult max_flow(const GraphView& view, NodeId source, NodeId sink,
         for (std::size_t e = 0; e < g.num_edges(); ++e) {
           const auto id = static_cast<EdgeId>(e);
           if (!view.edge_in_view(id)) continue;
-          const Edge& edge = g.edge(id);
-          if (!node_ok[static_cast<std::size_t>(edge.u)] ||
-              !node_ok[static_cast<std::size_t>(edge.v)]) {
+          const auto [eu, ev] = g.edge_endpoints(id);
+          if (!node_ok[static_cast<std::size_t>(eu)] ||
+              !node_ok[static_cast<std::size_t>(ev)]) {
             continue;
           }
           const double cap = edge_capacity[e];
           if (cap <= kFlowEps) continue;
           arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
-          net.add_undirected(edge.u, edge.v, cap, id);
+          net.add_undirected(eu, ev, cap, id);
         }
       });
 }
@@ -210,8 +210,8 @@ std::vector<std::pair<Path, double>> decompose_flow(
 
   // Flow on edge e leaves `from` iff sign matches orientation.
   auto outgoing = [&](EdgeId e, NodeId from) -> double {
-    const Edge& edge = g.edge(e);
-    if (edge.u == from) return residual[static_cast<std::size_t>(e)];
+    const auto [eu, ev] = g.edge_endpoints(e);
+    if (eu == from) return residual[static_cast<std::size_t>(e)];
     return -residual[static_cast<std::size_t>(e)];
   };
 
@@ -219,9 +219,9 @@ std::vector<std::pair<Path, double>> decompose_flow(
                       double amount) {
     NodeId walk = from;
     for (EdgeId e : edges) {
-      const Edge& edge = g.edge(e);
+      const auto [eu, ev] = g.edge_endpoints(e);
       residual[static_cast<std::size_t>(e)] +=
-          edge.u == walk ? -amount : amount;
+          eu == walk ? -amount : amount;
       walk = g.other_endpoint(e, walk);
     }
   };
@@ -287,6 +287,7 @@ std::vector<std::pair<Path, double>> decompose_flow(
 
 // --- legacy reference ------------------------------------------------------
 
+#if defined(NETREC_ENABLE_LEGACY)
 namespace legacy {
 
 MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
@@ -300,16 +301,17 @@ MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
         for (std::size_t e = 0; e < g.num_edges(); ++e) {
           const auto id = static_cast<EdgeId>(e);
           if (edge_ok && !edge_ok(id)) continue;
-          const Edge& edge = g.edge(id);
-          if (node_ok && (!node_ok(edge.u) || !node_ok(edge.v))) continue;
+          const auto [eu, ev] = g.edge_endpoints(id);
+          if (node_ok && (!node_ok(eu) || !node_ok(ev))) continue;
           const double cap = capacity(id);
           if (cap <= kFlowEps) continue;
           arc_of_edge[e] = {static_cast<int>(net.arcs.size()), cap};
-          net.add_undirected(edge.u, edge.v, cap, id);
+          net.add_undirected(eu, ev, cap, id);
         }
       });
 }
 
 }  // namespace legacy
+#endif  // NETREC_ENABLE_LEGACY
 
 }  // namespace netrec::graph

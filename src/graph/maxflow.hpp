@@ -68,6 +68,7 @@ std::vector<std::pair<Path, double>> decompose_flow(
     const Graph& g, NodeId source, NodeId sink,
     const std::vector<double>& edge_flow);
 
+#if defined(NETREC_ENABLE_LEGACY)
 namespace legacy {
 
 /// Reference std::function-based implementation (bit-identical flows),
@@ -78,5 +79,6 @@ MaxflowResult max_flow(const Graph& g, NodeId source, NodeId sink,
                        const NodeFilter& node_ok = {});
 
 }  // namespace legacy
+#endif  // NETREC_ENABLE_LEGACY
 
 }  // namespace netrec::graph

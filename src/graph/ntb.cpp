@@ -1,0 +1,338 @@
+#include "graph/ntb.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NETREC_NTB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define NETREC_NTB_HAVE_MMAP 0
+#endif
+
+namespace netrec::graph {
+
+namespace {
+
+// Byte-level layout (docs/ntb_format.md):
+//   header   : magic "NTB1" | u32 version | u32 endian tag 0x01020304 |
+//              u32 section count | u64 nodes | u64 edges   (32 bytes)
+//   table    : per section { u32 kind | u32 reserved | u64 offset | u64 size }
+//   sections : raw little-endian column data, 8-byte aligned.
+constexpr char kMagic[4] = {'N', 'T', 'B', '1'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kHeaderSize = 32;
+constexpr std::size_t kTableEntrySize = 24;
+
+enum SectionKind : std::uint32_t {
+  kSecNodeCoords = 1,      // f64 x,y interleaved, 16 * V bytes
+  kSecNodeRepairCost = 2,  // f64, 8 * V
+  kSecNodeBroken = 3,      // u8, V (optional; absent = none broken)
+  kSecNodeNames = 4,       // u32 offsets (V + 1) then blob (optional)
+  kSecEdgeEndpoints = 5,   // i32 u,v interleaved, 8 * E
+  kSecEdgeCapacity = 6,    // f64, 8 * E
+  kSecEdgeRepairCost = 7,  // f64, 8 * E
+  kSecEdgeBroken = 8,      // u8, E (optional; absent = none broken)
+};
+
+struct Section {
+  std::uint32_t kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void pad_to_8(std::string& out) {
+  while (out.size() % 8 != 0) out.push_back('\0');
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("NTB: " + what);
+}
+
+std::uint32_t read_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t read_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+template <typename T>
+std::vector<T> copy_column(const unsigned char* base, const Section& s,
+                           std::size_t count) {
+  std::vector<T> out(count);
+  if (count != 0) std::memcpy(out.data(), base + s.offset, count * sizeof(T));
+  return out;
+}
+
+}  // namespace
+
+std::string to_ntb(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+
+  struct Pending {
+    std::uint32_t kind;
+    std::string data;
+  };
+  std::vector<Pending> sections;
+
+  {  // node coordinates, interleaved
+    std::string data;
+    data.resize(16 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(data.data() + 16 * i, &g.node_xs()[i], 8);
+      std::memcpy(data.data() + 16 * i + 8, &g.node_ys()[i], 8);
+    }
+    sections.push_back({kSecNodeCoords, std::move(data)});
+  }
+  {
+    std::string data(reinterpret_cast<const char*>(g.node_repair_costs().data()),
+                     8 * n);
+    sections.push_back({kSecNodeRepairCost, std::move(data)});
+  }
+  if (g.num_broken_nodes() != 0) {
+    std::string data(reinterpret_cast<const char*>(g.node_broken_flags().data()),
+                     n);
+    sections.push_back({kSecNodeBroken, std::move(data)});
+  }
+  if (!g.name_offsets().empty()) {
+    std::string data;
+    data.reserve(4 * (n + 1) + g.name_blob().size());
+    for (std::uint32_t off : g.name_offsets()) append_u32(data, off);
+    data.append(g.name_blob());
+    sections.push_back({kSecNodeNames, std::move(data)});
+  }
+  {  // edge endpoints, interleaved
+    std::string data;
+    data.resize(8 * m);
+    for (std::size_t e = 0; e < m; ++e) {
+      std::memcpy(data.data() + 8 * e, &g.edge_sources()[e], 4);
+      std::memcpy(data.data() + 8 * e + 4, &g.edge_targets()[e], 4);
+    }
+    sections.push_back({kSecEdgeEndpoints, std::move(data)});
+  }
+  {
+    std::string data(reinterpret_cast<const char*>(g.edge_capacities().data()),
+                     8 * m);
+    sections.push_back({kSecEdgeCapacity, std::move(data)});
+  }
+  {
+    std::string data(
+        reinterpret_cast<const char*>(g.edge_repair_costs().data()), 8 * m);
+    sections.push_back({kSecEdgeRepairCost, std::move(data)});
+  }
+  if (g.num_broken_edges() != 0) {
+    std::string data(reinterpret_cast<const char*>(g.edge_broken_flags().data()),
+                     m);
+    sections.push_back({kSecEdgeBroken, std::move(data)});
+  }
+
+  std::string out;
+  out.append(kMagic, 4);
+  append_u32(out, kNtbVersion);
+  append_u32(out, kEndianTag);
+  append_u32(out, static_cast<std::uint32_t>(sections.size()));
+  append_u64(out, n);
+  append_u64(out, m);
+
+  // Section table with offsets computed section by section (8-aligned).
+  std::size_t cursor = kHeaderSize + kTableEntrySize * sections.size();
+  cursor = (cursor + 7) / 8 * 8;
+  for (const Pending& s : sections) {
+    append_u32(out, s.kind);
+    append_u32(out, 0);  // reserved
+    append_u64(out, cursor);
+    append_u64(out, s.data.size());
+    cursor += (s.data.size() + 7) / 8 * 8;
+  }
+  pad_to_8(out);
+  for (const Pending& s : sections) {
+    out.append(s.data);
+    pad_to_8(out);
+  }
+  return out;
+}
+
+Graph parse_ntb(const void* data, std::size_t size) {
+  const auto* base = static_cast<const unsigned char*>(data);
+  if (size < kHeaderSize) fail("truncated header");
+  if (std::memcmp(base, kMagic, 4) != 0) fail("bad magic (not an NTB file)");
+  const std::uint32_t version = read_u32(base + 4);
+  if (version != kNtbVersion) {
+    fail("unsupported version " + std::to_string(version));
+  }
+  if (read_u32(base + 8) != kEndianTag) {
+    fail("endianness mismatch (file written on a big-endian host?)");
+  }
+  const std::uint32_t section_count = read_u32(base + 12);
+  const std::uint64_t n64 = read_u64(base + 16);
+  const std::uint64_t m64 = read_u64(base + 24);
+  if (n64 > kMaxGraphElements || m64 > kMaxGraphElements) {
+    fail("node/edge count exceeds 2^31 (32-bit ids)");
+  }
+  const auto n = static_cast<std::size_t>(n64);
+  const auto m = static_cast<std::size_t>(m64);
+
+  if (section_count > 64) fail("implausible section count");
+  const std::size_t table_end =
+      kHeaderSize + kTableEntrySize * static_cast<std::size_t>(section_count);
+  if (table_end > size) fail("truncated section table");
+
+  Section by_kind[16] = {};
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const unsigned char* entry = base + kHeaderSize + kTableEntrySize * i;
+    Section s;
+    s.kind = read_u32(entry);
+    s.offset = read_u64(entry + 8);
+    s.size = read_u64(entry + 16);
+    if (s.offset > size || s.size > size - s.offset) {
+      fail("section " + std::to_string(s.kind) + " exceeds file bounds");
+    }
+    if (s.kind == 0 || s.kind >= 16) continue;  // unknown: skip (forward compat)
+    if (by_kind[s.kind].kind != 0) {
+      fail("duplicate section " + std::to_string(s.kind));
+    }
+    by_kind[s.kind] = s;
+  }
+
+  auto require = [&](SectionKind kind, std::uint64_t expected_size,
+                     const char* what) -> const Section& {
+    const Section& s = by_kind[kind];
+    if (s.kind == 0) fail(std::string("missing section: ") + what);
+    if (s.size != expected_size) {
+      fail(std::string("section size mismatch for ") + what + " (have " +
+           std::to_string(s.size) + ", want " +
+           std::to_string(expected_size) + ")");
+    }
+    return s;
+  };
+
+  const Section& coords = require(kSecNodeCoords, 16ull * n, "node coords");
+  const Section& ncost =
+      require(kSecNodeRepairCost, 8ull * n, "node repair costs");
+  const Section& ends = require(kSecEdgeEndpoints, 8ull * m, "edge endpoints");
+  const Section& ecap = require(kSecEdgeCapacity, 8ull * m, "edge capacities");
+  const Section& ecost =
+      require(kSecEdgeRepairCost, 8ull * m, "edge repair costs");
+
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(&xs[i], base + coords.offset + 16 * i, 8);
+    std::memcpy(&ys[i], base + coords.offset + 16 * i + 8, 8);
+  }
+  std::vector<double> node_costs = copy_column<double>(base, ncost, n);
+
+  std::vector<std::uint8_t> node_broken;
+  if (by_kind[kSecNodeBroken].kind != 0) {
+    const Section& s = require(kSecNodeBroken, n, "node broken flags");
+    node_broken = copy_column<std::uint8_t>(base, s, n);
+  }
+
+  std::string name_blob;
+  std::vector<std::uint32_t> name_off;
+  if (by_kind[kSecNodeNames].kind != 0) {
+    const Section& s = by_kind[kSecNodeNames];
+    const std::uint64_t offsets_bytes = 4ull * (n + 1);
+    if (s.size < offsets_bytes) fail("truncated node name offsets");
+    name_off = copy_column<std::uint32_t>(
+        base, Section{s.kind, s.offset, offsets_bytes}, n + 1);
+    const std::uint64_t blob_size = s.size - offsets_bytes;
+    name_blob.assign(
+        reinterpret_cast<const char*>(base + s.offset + offsets_bytes),
+        static_cast<std::size_t>(blob_size));
+    if (name_off.back() != name_blob.size()) {
+      fail("name offsets disagree with name blob size");
+    }
+  }
+
+  std::vector<NodeId> eu(m), ev(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    std::memcpy(&eu[e], base + ends.offset + 8 * e, 4);
+    std::memcpy(&ev[e], base + ends.offset + 8 * e + 4, 4);
+  }
+  std::vector<double> caps = copy_column<double>(base, ecap, m);
+  std::vector<double> edge_costs = copy_column<double>(base, ecost, m);
+  std::vector<std::uint8_t> edge_broken;
+  if (by_kind[kSecEdgeBroken].kind != 0) {
+    const Section& s = require(kSecEdgeBroken, m, "edge broken flags");
+    edge_broken = copy_column<std::uint8_t>(base, s, m);
+  }
+
+  Builder builder;
+  builder.adopt_nodes(std::move(xs), std::move(ys), std::move(node_costs),
+                      std::move(node_broken), std::move(name_blob),
+                      std::move(name_off));
+  builder.adopt_edges(std::move(eu), std::move(ev), std::move(caps),
+                      std::move(edge_costs), std::move(edge_broken));
+  try {
+    return builder.finalize();
+  } catch (const std::exception& e) {
+    fail(std::string("invalid topology: ") + e.what());
+  }
+}
+
+void save_ntb_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot write '" + path + "'");
+  const std::string image = to_ntb(g);
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  if (!out) fail("short write to '" + path + "'");
+}
+
+Graph load_ntb_file(const std::string& path) {
+#if NETREC_NTB_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        try {
+          Graph g = parse_ntb(map, size);
+          ::munmap(map, size);
+          ::close(fd);
+          return g;
+        } catch (...) {
+          ::munmap(map, size);
+          ::close(fd);
+          throw;
+        }
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open '" + path + "'");
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  return parse_ntb(buffer.data(), buffer.size());
+}
+
+}  // namespace netrec::graph

@@ -1,6 +1,7 @@
 #include "graph/path.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <limits>
 #include <sstream>
 #include <unordered_set>
@@ -56,7 +57,7 @@ std::string Path::to_string(const Graph& g) const {
   for (NodeId n : nodes(g)) {
     if (!first) out << " - ";
     first = false;
-    const std::string& name = g.node(n).name;
+    const std::string_view name = g.node_name(n);
     if (name.empty()) {
       out << n;
     } else {

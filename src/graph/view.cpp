@@ -28,15 +28,15 @@ GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
       view.edge_pass_[e] = 0;
       continue;
     }
-    const Edge& edge = g.edge(id);
+    const auto [eu, ev] = g.edge_endpoints(id);
     view.edge_in_view_[e] =
-        view.node_in_view_[static_cast<std::size_t>(edge.u)] &&
-                view.node_in_view_[static_cast<std::size_t>(edge.v)]
+        view.node_in_view_[static_cast<std::size_t>(eu)] &&
+                view.node_in_view_[static_cast<std::size_t>(ev)]
             ? 1
             : 0;
     view.edge_lengths_[e] = config.length ? config.length(id) : 1.0;
     view.edge_capacities_[e] =
-        config.capacity ? config.capacity(id) : edge.capacity;
+        config.capacity ? config.capacity(id) : g.edge_capacity(id);
   }
 
   // CSR over directed arcs: u -> v present iff the edge passes and the
@@ -44,12 +44,12 @@ GraphView GraphView::build(const Graph& g, const ViewConfig& config) {
   view.offsets_.assign(n + 1, 0);
   for (std::size_t e = 0; e < m; ++e) {
     if (!view.edge_pass_[e]) continue;
-    const Edge& edge = g.edge(static_cast<EdgeId>(e));
-    if (view.node_in_view_[static_cast<std::size_t>(edge.v)]) {
-      ++view.offsets_[static_cast<std::size_t>(edge.u) + 1];
+    const auto [eu, ev] = g.edge_endpoints(static_cast<EdgeId>(e));
+    if (view.node_in_view_[static_cast<std::size_t>(ev)]) {
+      ++view.offsets_[static_cast<std::size_t>(eu) + 1];
     }
-    if (view.node_in_view_[static_cast<std::size_t>(edge.u)]) {
-      ++view.offsets_[static_cast<std::size_t>(edge.v) + 1];
+    if (view.node_in_view_[static_cast<std::size_t>(eu)]) {
+      ++view.offsets_[static_cast<std::size_t>(ev) + 1];
     }
   }
   for (std::size_t i = 0; i < n; ++i) view.offsets_[i + 1] += view.offsets_[i];

@@ -120,7 +120,7 @@ void ViewCache::sync(Slot& slot) {
       const double length =
           slot.config.length ? slot.config.length(e) : 1.0;
       const double capacity =
-          slot.config.capacity ? slot.config.capacity(e) : g_->edge(e).capacity;
+          slot.config.capacity ? slot.config.capacity(e) : g_->edge_capacity(e);
       slot.view.refresh_edge_metrics(e, length, capacity);
       ++stats_.refreshes;
     }

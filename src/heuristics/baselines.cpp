@@ -99,10 +99,10 @@ std::vector<RankedPath> build_path_pool(const core::RecoveryProblem& problem,
       double cost = 0.0;
       std::vector<graph::NodeId> nodes = p.nodes(g);
       for (graph::NodeId n : nodes) {
-        if (g.node(n).broken) cost += g.node(n).repair_cost;
+        if (g.node_broken(n)) cost += g.node_repair_cost(n);
       }
       for (graph::EdgeId e : p.edges) {
-        if (g.edge(e).broken) cost += g.edge(e).repair_cost;
+        if (g.edge_broken(e)) cost += g.edge_repair_cost(e);
       }
       const double capacity = p.capacity(cap);
       if (capacity <= kEps) continue;
@@ -133,7 +133,7 @@ core::RecoverySolution solve_grd_com(const core::RecoveryProblem& problem,
   }
   std::vector<double> residual(g.num_edges());
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    residual[e] = g.edge(static_cast<graph::EdgeId>(e)).capacity;
+    residual[e] = g.edge_capacity(static_cast<graph::EdgeId>(e));
   }
   auto residual_view = [&](graph::EdgeId e) {
     return residual[static_cast<std::size_t>(e)];
@@ -208,10 +208,10 @@ core::RecoverySolution solve_grd_nc(const core::RecoveryProblem& problem,
   // bounds LP calls by the number of broken elements, not the pool size.
   auto adds_repair = [&](const graph::Path& p) {
     for (graph::EdgeId e : p.edges) {
-      if (g.edge(e).broken && !state.edge_repaired(e)) return true;
+      if (g.edge_broken(e) && !state.edge_repaired(e)) return true;
     }
     for (graph::NodeId n : p.nodes(g)) {
-      if (g.node(n).broken && !state.node_repaired(n)) return true;
+      if (g.node_broken(n) && !state.node_repaired(n)) return true;
     }
     return false;
   };

@@ -41,12 +41,14 @@ core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
   // routability probes then consult an O(1) array lookup instead of
   // re-deriving brokenness per edge per probe.
   auto edge_usable_now = [&](graph::EdgeId e) {
-    const graph::Edge& edge = g.edge(e);
-    if (edge.broken && !edge_kept[static_cast<std::size_t>(e)]) return false;
-    if (g.node(edge.u).broken && !node_kept[static_cast<std::size_t>(edge.u)]) {
+    if (g.edge_broken(e) && !edge_kept[static_cast<std::size_t>(e)]) {
       return false;
     }
-    if (g.node(edge.v).broken && !node_kept[static_cast<std::size_t>(edge.v)]) {
+    const auto [eu, ev] = g.edge_endpoints(e);
+    if (g.node_broken(eu) && !node_kept[static_cast<std::size_t>(eu)]) {
+      return false;
+    }
+    if (g.node_broken(ev) && !node_kept[static_cast<std::size_t>(ev)]) {
       return false;
     }
     return true;
@@ -83,11 +85,11 @@ core::RecoverySolution reduce_repairs(const core::RecoveryProblem& problem,
     std::vector<Element> elements;
     for (auto it = solution.repaired_edges.rbegin();
          it != solution.repaired_edges.rend(); ++it) {
-      elements.push_back(Element{false, *it, g.edge(*it).repair_cost});
+      elements.push_back(Element{false, *it, g.edge_repair_cost(*it)});
     }
     for (auto it = solution.repaired_nodes.rbegin();
          it != solution.repaired_nodes.rend(); ++it) {
-      elements.push_back(Element{true, *it, g.node(*it).repair_cost});
+      elements.push_back(Element{true, *it, g.node_repair_cost(*it)});
     }
     std::stable_sort(elements.begin(), elements.end(),
                      [](const Element& a, const Element& b) {

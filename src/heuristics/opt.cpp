@@ -51,7 +51,7 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
     return (static_cast<int>(e) * 2 + dir) * n_demands + h;
   };
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const double cap = g.edge(static_cast<graph::EdgeId>(e)).capacity;
+    const double cap = g.edge_capacity(static_cast<graph::EdgeId>(e));
     for (int dir = 0; dir < 2; ++dir) {
       for (int h = 0; h < n_demands; ++h) {
         const double d =
@@ -61,17 +61,17 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
     }
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    if (g.edge(static_cast<graph::EdgeId>(e)).broken) {
+    if (g.edge_broken(static_cast<graph::EdgeId>(e))) {
       out.delta_of_edge[e] = out.model.add_variable(
-          0.0, 1.0, g.edge(static_cast<graph::EdgeId>(e)).repair_cost);
+          0.0, 1.0, g.edge_repair_cost(static_cast<graph::EdgeId>(e)));
       out.integer_vars.push_back(out.delta_of_edge[e]);
     }
   }
   for (std::size_t n = 0; n < g.num_nodes(); ++n) {
-    if (g.node(static_cast<graph::NodeId>(n)).broken) {
+    if (g.node_broken(static_cast<graph::NodeId>(n))) {
       const double fixed_low = endpoint[n] ? 1.0 : 0.0;
       out.delta_of_node[n] = out.model.add_variable(
-          fixed_low, 1.0, g.node(static_cast<graph::NodeId>(n)).repair_cost);
+          fixed_low, 1.0, g.node_repair_cost(static_cast<graph::NodeId>(n)));
       if (!endpoint[n]) out.integer_vars.push_back(out.delta_of_node[n]);
     }
   }
@@ -79,10 +79,10 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
   // Capacity + edge-activation rows.  Big-M tightening: flow across an edge
   // never exceeds the total demand, so min(c, D) multiplies delta.
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const graph::Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
-    const double big_m = std::min(edge.capacity, total);
+    const double cap = g.edge_capacity(static_cast<graph::EdgeId>(e));
+    const double big_m = std::min(cap, total);
     const int row = out.model.add_constraint(
-        lp::Sense::kLessEqual, out.delta_of_edge[e] >= 0 ? 0.0 : edge.capacity);
+        lp::Sense::kLessEqual, out.delta_of_edge[e] >= 0 ? 0.0 : cap);
     for (int h = 0; h < n_demands; ++h) {
       out.model.set_coefficient(row, flow_var(h, e, 0), 1.0);
       out.model.set_coefficient(row, flow_var(h, e, 1), 1.0);
@@ -97,7 +97,7 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
         out.model.set_coefficient(drow, flow_var(h, e, 0), 1.0);
         out.model.set_coefficient(drow, flow_var(h, e, 1), 1.0);
         out.model.set_coefficient(drow, out.delta_of_edge[e],
-                                  -std::min(edge.capacity, d));
+                                  -std::min(cap, d));
       }
     }
   }
@@ -107,7 +107,6 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
     if (out.delta_of_node[n] < 0 || endpoint[n]) continue;
     for (graph::EdgeId e :
          g.incident_edges(static_cast<graph::NodeId>(n))) {
-      const graph::Edge& edge = g.edge(e);
       const int row = out.model.add_constraint(lp::Sense::kLessEqual, 0.0);
       for (int h = 0; h < n_demands; ++h) {
         out.model.set_coefficient(
@@ -116,7 +115,7 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
             row, flow_var(h, static_cast<std::size_t>(e), 1), 1.0);
       }
       out.model.set_coefficient(row, out.delta_of_node[n],
-                                -std::min(edge.capacity, total));
+                                -std::min(g.edge_capacity(e), total));
     }
   }
   // Endpoint cut rows: the edges at s_h/t_h must jointly open enough
@@ -128,8 +127,7 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
       const int row =
           out.model.add_constraint(lp::Sense::kGreaterEqual, d.amount);
       for (graph::EdgeId e : g.incident_edges(end)) {
-        const graph::Edge& edge = g.edge(e);
-        const double cap = std::min(edge.capacity, d.amount);
+        const double cap = std::min(g.edge_capacity(e), d.amount);
         const int delta = out.delta_of_edge[static_cast<std::size_t>(e)];
         if (delta >= 0) {
           out.model.set_coefficient(row, delta, cap);
@@ -151,8 +149,7 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
       if (d.source == d.target) b = 0.0;
       const int row = out.model.add_constraint(lp::Sense::kEqual, b);
       for (graph::EdgeId e : g.incident_edges(node)) {
-        const graph::Edge& edge = g.edge(e);
-        const int out_dir = edge.u == node ? 0 : 1;
+        const int out_dir = g.edge_u(e) == node ? 0 : 1;
         out.model.set_coefficient(
             row, flow_var(h, static_cast<std::size_t>(e), out_dir), 1.0);
         out.model.set_coefficient(
@@ -167,8 +164,9 @@ MinrModel build_minr_milp(const core::RecoveryProblem& problem) {
 
 bool is_connectivity_only(const core::RecoveryProblem& problem) {
   double min_cap = std::numeric_limits<double>::infinity();
-  for (const auto& e : problem.graph.edges()) {
-    if (e.capacity > kEps) min_cap = std::min(min_cap, e.capacity);
+  for (std::size_t e = 0; e < problem.graph.num_edges(); ++e) {
+    const double cap = problem.graph.edge_capacity(static_cast<graph::EdgeId>(e));
+    if (cap > kEps) min_cap = std::min(min_cap, cap);
   }
   return problem.total_demand() <= min_cap + kEps;
 }
@@ -228,20 +226,20 @@ OptOutcome solve_opt(const core::RecoveryProblem& problem,
     const auto forest = steiner::steiner_forest(
         g, pairs,
         [&g](graph::EdgeId e) {
-          return g.edge(e).broken ? g.edge(e).repair_cost : 0.0;
+          return g.edge_broken(e) ? g.edge_repair_cost(e) : 0.0;
         },
         [&g](graph::NodeId n) {
-          return g.node(n).broken ? g.node(n).repair_cost : 0.0;
+          return g.node_broken(n) ? g.node_repair_cost(n) : 0.0;
         },
-        [&g](graph::EdgeId e) { return g.edge(e).capacity > kEps; }, sopt);
+        [&g](graph::EdgeId e) { return g.edge_capacity(e) > kEps; }, sopt);
     if (forest.solved) {
       core::RecoverySolution exact;
       exact.algorithm = "OPT";
       for (graph::NodeId n : forest.nodes) {
-        if (g.node(n).broken) exact.repaired_nodes.push_back(n);
+        if (g.node_broken(n)) exact.repaired_nodes.push_back(n);
       }
       for (graph::EdgeId e : forest.edges) {
-        if (g.edge(e).broken) exact.repaired_edges.push_back(e);
+        if (g.edge_broken(e)) exact.repaired_edges.push_back(e);
       }
       core::score_solution(problem, exact);
       exact.wall_seconds = timer.elapsed_seconds();

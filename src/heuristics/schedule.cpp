@@ -27,16 +27,17 @@ std::vector<double> RecoverySchedule::restored_series() const {
 }
 
 std::string node_label(const graph::Graph& g, graph::NodeId n) {
-  return "site " + (g.node(n).name.empty() ? std::to_string(n)
-                                           : g.node(n).name);
+  return "site " + (g.node_name(n).empty() ? std::to_string(n)
+                                           : std::string(g.node_name(n)));
 }
 
 std::string edge_label(const graph::Graph& g, graph::EdgeId e) {
-  const auto& edge = g.edge(e);
+  const auto [eu, ev] = g.edge_endpoints(e);
   auto name = [&](graph::NodeId n) {
-    return g.node(n).name.empty() ? std::to_string(n) : g.node(n).name;
+    return g.node_name(n).empty() ? std::to_string(n)
+                                  : std::string(g.node_name(n));
   };
-  return "link " + name(edge.u) + " - " + name(edge.v);
+  return "link " + name(eu) + " - " + name(ev);
 }
 
 RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
@@ -60,21 +61,23 @@ RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
 
   // Elements of the final (solution) subgraph: working plus the repair set.
   auto node_available = [&](graph::NodeId n) {
-    return !g.node(n).broken || node_in_set[static_cast<std::size_t>(n)];
+    return !g.node_broken(n) || node_in_set[static_cast<std::size_t>(n)];
   };
   auto edge_available = [&](graph::EdgeId e) {
-    const auto& edge = g.edge(e);
-    if (edge.broken && !edge_in_set[static_cast<std::size_t>(e)]) return false;
-    return node_available(edge.u) && node_available(edge.v);
+    if (g.edge_broken(e) && !edge_in_set[static_cast<std::size_t>(e)]) {
+      return false;
+    }
+    const auto [eu, ev] = g.edge_endpoints(e);
+    return node_available(eu) && node_available(ev);
   };
   // Length = unscheduled repair work on the edge (edge + endpoint halves),
   // with a small hop term so fully-scheduled paths still rank shortest.
   auto pending_length = [&](graph::EdgeId e) {
-    const auto& edge = g.edge(e);
+    const auto [eu, ev] = g.edge_endpoints(e);
     double w = 1e-3;
-    if (edge.broken && !scheduled.edge_repaired(e)) w += 1.0;
-    if (g.node(edge.u).broken && !scheduled.node_repaired(edge.u)) w += 0.5;
-    if (g.node(edge.v).broken && !scheduled.node_repaired(edge.v)) w += 0.5;
+    if (g.edge_broken(e) && !scheduled.edge_repaired(e)) w += 1.0;
+    if (g.node_broken(eu) && !scheduled.node_repaired(eu)) w += 0.5;
+    if (g.node_broken(ev) && !scheduled.node_repaired(ev)) w += 0.5;
     return w;
   };
 
@@ -169,12 +172,12 @@ RecoverySchedule schedule_repairs(const core::RecoveryProblem& problem,
   std::vector<Leftover> leftovers;
   for (graph::NodeId n : solution.repaired_nodes) {
     if (!scheduled.node_repaired(n)) {
-      leftovers.push_back({true, n, g.node(n).repair_cost});
+      leftovers.push_back({true, n, g.node_repair_cost(n)});
     }
   }
   for (graph::EdgeId e : solution.repaired_edges) {
     if (!scheduled.edge_repaired(e)) {
-      leftovers.push_back({false, e, g.edge(e).repair_cost});
+      leftovers.push_back({false, e, g.edge_repair_cost(e)});
     }
   }
   std::stable_sort(leftovers.begin(), leftovers.end(),

@@ -12,8 +12,7 @@ namespace {
 /// relaxation, which is part of why its optimal face is so wide.
 graph::EdgeWeight broken_cost_view(const graph::Graph& g) {
   return [&g](graph::EdgeId e) {
-    const graph::Edge& edge = g.edge(e);
-    return edge.broken ? edge.repair_cost : 0.0;
+    return g.edge_broken(e) ? g.edge_repair_cost(e) : 0.0;
   };
 }
 
@@ -23,7 +22,7 @@ BrokenUsageResult min_broken_usage(const graph::Graph& g,
                                    const std::vector<Demand>& demands,
                                    const PathLpOptions& options) {
   PathLp lp(g, demands, /*edge_ok=*/{},
-            [&g](graph::EdgeId e) { return g.edge(e).capacity; }, options);
+            [&g](graph::EdgeId e) { return g.edge_capacity(e); }, options);
   lp.set_min_cost(broken_cost_view(g));
   PathLpResult r = lp.solve();
   BrokenUsageResult result;
@@ -41,10 +40,10 @@ ImpliedRepairs implied_repairs(const graph::Graph& g,
   for (const PathFlow& f : flows) {
     if (f.amount <= tol) continue;
     for (graph::NodeId n : f.path.nodes(g)) {
-      if (g.node(n).broken) nodes.insert(n);
+      if (g.node_broken(n)) nodes.insert(n);
     }
     for (graph::EdgeId e : f.path.edges) {
-      if (g.edge(e).broken) edges.insert(e);
+      if (g.edge_broken(e)) edges.insert(e);
     }
   }
   ImpliedRepairs out;
@@ -80,8 +79,8 @@ OptimalFaceBand explore_optimal_face(const graph::Graph& g,
     for (std::size_t e = 0; e < g.num_edges(); ++e) {
       const auto id = static_cast<graph::EdgeId>(e);
       const bool touches_broken = base_cost(id) > 0.0 ||
-                                  g.node(g.edge(id).u).broken ||
-                                  g.node(g.edge(id).v).broken;
+                                  g.node_broken(g.edge_u(id)) ||
+                                  g.node_broken(g.edge_v(id));
       if (concentrate) {
         noise[e] = touches_broken ? rng.uniform(0.1, 1.0)
                                   : rng.uniform(0.0, 0.01);
@@ -91,7 +90,7 @@ OptimalFaceBand explore_optimal_face(const graph::Graph& g,
       }
     }
     PathLp lp(g, demands, /*edge_ok=*/{},
-              [&g](graph::EdgeId e) { return g.edge(e).capacity; }, options);
+              [&g](graph::EdgeId e) { return g.edge_capacity(e); }, options);
     lp.set_min_cost([&noise](graph::EdgeId e) {
       return noise[static_cast<std::size_t>(e)];
     });

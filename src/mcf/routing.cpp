@@ -14,7 +14,7 @@ constexpr double kEps = 1e-9;
 }
 
 graph::EdgeWeight static_capacity(const graph::Graph& g) {
-  return [&g](graph::EdgeId e) { return g.edge(e).capacity; };
+  return [&g](graph::EdgeId e) { return g.edge_capacity(e); };
 }
 
 RoutingResult greedy_route(const graph::GraphView& view,

@@ -41,6 +41,7 @@
 #include "scenario/sweep.hpp"
 #include "scenario/timeline_runner.hpp"
 #include "steiner/steiner.hpp"
+#include "topology/generator.hpp"
 #include "topology/topologies.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"

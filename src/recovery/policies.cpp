@@ -39,11 +39,11 @@ std::vector<RepairAction> broken_in_list_order(const graph::Graph& g) {
   std::vector<RepairAction> out;
   for (std::size_t n = 0; n < g.num_nodes(); ++n) {
     const auto id = static_cast<graph::NodeId>(n);
-    if (g.node(id).broken) out.push_back(node_action(g, id));
+    if (g.node_broken(id)) out.push_back(node_action(g, id));
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
     const auto id = static_cast<graph::EdgeId>(e);
-    if (g.edge(id).broken) out.push_back(edge_action(g, id));
+    if (g.edge_broken(id)) out.push_back(edge_action(g, id));
   }
   return out;
 }
@@ -123,8 +123,10 @@ std::vector<RepairAction> BetweennessGreedyPolicy::plan_stage(
   const graph::Graph& g = problem.graph;
   if (!scored_) {
     scored_ = true;
-    scores_ = graph::betweenness_centrality(
-        g, [](graph::EdgeId) { return 1.0; });
+    graph::ViewConfig config;
+    config.length = [](graph::EdgeId) { return 1.0; };
+    scores_ =
+        graph::betweenness_centrality(graph::GraphView::build(g, config));
   }
   auto node_score = [this](graph::NodeId n) {
     return scores_[static_cast<std::size_t>(n)];
@@ -136,14 +138,14 @@ std::vector<RepairAction> BetweennessGreedyPolicy::plan_stage(
   std::vector<Scored> candidates;
   for (std::size_t n = 0; n < g.num_nodes(); ++n) {
     const auto id = static_cast<graph::NodeId>(n);
-    if (!g.node(id).broken) continue;
+    if (!g.node_broken(id)) continue;
     candidates.push_back({node_score(id), node_action(g, id)});
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
     const auto id = static_cast<graph::EdgeId>(e);
-    const graph::Edge& edge = g.edge(id);
-    if (!edge.broken) continue;
-    const double score = 0.5 * (node_score(edge.u) + node_score(edge.v));
+    if (!g.edge_broken(id)) continue;
+    const auto [eu, ev] = g.edge_endpoints(id);
+    const double score = 0.5 * (node_score(eu) + node_score(ev));
     candidates.push_back({score, edge_action(g, id)});
   }
   // Stable: ties settle nodes-then-edges in id order (the insertion order).

@@ -84,19 +84,17 @@ class Runtime {
   bool apply_repair(const RepairAction& action, double* cost) {
     bool revive = false;
     if (action.is_node) {
-      graph::Node& node = g_.node(action.node);
-      if (!node.broken) return false;
-      node.broken = false;
-      *cost = node.repair_cost;
+      if (!g_.node_broken(action.node)) return false;
+      g_.set_node_broken(action.node, false);
+      *cost = g_.node_repair_cost(action.node);
       for (graph::EdgeId e : g_.incident_edges(action.node)) {
         revive |= edge_died_[static_cast<std::size_t>(e)] != 0;
       }
       cache_.invalidate_node(action.node);
     } else {
-      graph::Edge& edge = g_.edge(action.edge);
-      if (!edge.broken) return false;
-      edge.broken = false;
-      *cost = edge.repair_cost;
+      if (!g_.edge_broken(action.edge)) return false;
+      g_.set_edge_broken(action.edge, false);
+      *cost = g_.edge_repair_cost(action.edge);
       revive = edge_died_[static_cast<std::size_t>(action.edge)] != 0;
       cache_.invalidate_edge(action.edge);
     }
@@ -122,16 +120,16 @@ class Runtime {
     std::vector<char> node_was(g_.num_nodes());
     std::vector<char> edge_was(g_.num_edges());
     for (std::size_t n = 0; n < g_.num_nodes(); ++n) {
-      node_was[n] = g_.node(static_cast<graph::NodeId>(n)).broken ? 1 : 0;
+      node_was[n] = g_.node_broken(static_cast<graph::NodeId>(n)) ? 1 : 0;
     }
     for (std::size_t e = 0; e < g_.num_edges(); ++e) {
-      edge_was[e] = g_.edge(static_cast<graph::EdgeId>(e)).broken ? 1 : 0;
+      edge_was[e] = g_.edge_broken(static_cast<graph::EdgeId>(e)) ? 1 : 0;
     }
     const disruption::DisruptionReport report =
         dynamics.advance(g_, live_.demands, stage, rng);
     for (std::size_t n = 0; n < g_.num_nodes(); ++n) {
       const auto id = static_cast<graph::NodeId>(n);
-      if ((g_.node(id).broken ? 1 : 0) == node_was[n]) continue;
+      if ((g_.node_broken(id) ? 1 : 0) == node_was[n]) continue;
       for (graph::EdgeId e : g_.incident_edges(id)) {
         edge_died_[static_cast<std::size_t>(e)] = 1;
       }
@@ -140,7 +138,7 @@ class Runtime {
     }
     for (std::size_t e = 0; e < g_.num_edges(); ++e) {
       const auto id = static_cast<graph::EdgeId>(e);
-      if ((g_.edge(id).broken ? 1 : 0) == edge_was[e]) continue;
+      if ((g_.edge_broken(id) ? 1 : 0) == edge_was[e]) continue;
       edge_died_[e] = 1;
       cache_.invalidate_edge(id);
       measure_stale_ = true;

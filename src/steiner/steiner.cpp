@@ -178,8 +178,8 @@ SteinerForestResult extract(const graph::Graph& g, const DwTable& table,
     nodes.insert(static_cast<graph::NodeId>(best_v));
   }
   for (graph::EdgeId e : edges) {
-    nodes.insert(g.edge(e).u);
-    nodes.insert(g.edge(e).v);
+    nodes.insert(g.edge_u(e));
+    nodes.insert(g.edge_v(e));
   }
   result.solved = true;
   result.cost = cost;

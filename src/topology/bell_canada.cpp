@@ -99,7 +99,9 @@ constexpr Link kLinks[] = {
 
 }  // namespace
 
-graph::Graph bell_canada_like(const BellCanadaOptions& options) {
+namespace detail {
+
+graph::Graph bell_canada_impl(const BellCanadaOptions& options) {
   graph::Graph g;
   for (const City& city : kCities) {
     g.add_node(city.name, city.lon, city.lat, options.repair_cost);
@@ -115,5 +117,20 @@ graph::Graph bell_canada_like(const BellCanadaOptions& options) {
   }
   return g;
 }
+
+}  // namespace detail
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+graph::Graph bell_canada_like(const BellCanadaOptions& options) {
+  return detail::bell_canada_impl(options);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace netrec::topology

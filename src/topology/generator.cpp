@@ -1,0 +1,217 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace netrec::topology {
+
+namespace detail {
+
+graph::Graph rmat_impl(const RmatOptions& options, util::Rng& rng) {
+  if (options.nodes < 2) {
+    throw std::invalid_argument("rmat: need at least 2 nodes");
+  }
+  const double d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0.0 || options.b < 0.0 || options.c < 0.0 || d < 0.0) {
+    throw std::invalid_argument("rmat: partition probabilities must be a "
+                                "sub-distribution (a+b+c <= 1, all >= 0)");
+  }
+  const std::size_t n = options.nodes;
+  // Smallest power-of-two quadrant grid covering n; draws landing outside
+  // [0, n) are rejected so any n works, not just powers of two.
+  std::size_t top_bit = 1;
+  while (top_bit < n) top_bit <<= 1;
+  top_bit >>= 1;
+
+  const auto target =
+      static_cast<std::size_t>(options.edge_factor *
+                               static_cast<double>(n));
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+
+  // Draw undirected pairs as packed min<<32|max keys, then sort+unique:
+  // the Graph500 idiom — duplicates of a skewed draw are discarded rather
+  // than probed per insert.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(target);
+  for (std::size_t k = 0; k < target; ++k) {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    for (std::size_t bit = top_bit; bit > 0; bit >>= 1) {
+      const double r = rng.uniform();
+      if (r < options.a) {
+        // top-left: neither bit set
+      } else if (r < ab) {
+        v |= bit;
+      } else if (r < abc) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u >= n || v >= n || u == v) continue;  // rejected draw
+    const std::uint64_t lo = std::min(u, v);
+    const std::uint64_t hi = std::max(u, v);
+    keys.push_back(lo << 32 | hi);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  graph::Builder builder(graph::Builder::Options{options.degree_order});
+  builder.reserve(n, keys.size());
+  builder.add_nodes(n, options.repair_cost);
+  for (const std::uint64_t key : keys) {
+    builder.add_edge(static_cast<graph::NodeId>(key >> 32),
+                     static_cast<graph::NodeId>(key & 0xffffffffu),
+                     options.capacity, options.repair_cost);
+  }
+  return builder.finalize();
+}
+
+graph::Graph barabasi_albert_impl(const BarabasiAlbertOptions& options,
+                                  util::Rng& rng) {
+  if (options.attach == 0) {
+    throw std::invalid_argument("barabasi_albert: attach must be >= 1");
+  }
+  if (options.nodes <= options.attach) {
+    throw std::invalid_argument("barabasi_albert: need nodes > attach");
+  }
+  const std::size_t n = options.nodes;
+  const std::size_t m = options.attach;
+
+  graph::Builder builder;
+  builder.reserve(n, m * n);
+  builder.add_nodes(n, options.repair_cost);
+
+  // Seed core: a path over the first m+1 nodes keeps the graph connected
+  // and gives every early node nonzero degree in the attachment pool.
+  std::vector<graph::NodeId> pool;  // node id repeated once per degree
+  pool.reserve(2 * m * n);
+  for (std::size_t i = 1; i <= m; ++i) {
+    builder.add_edge(static_cast<graph::NodeId>(i - 1),
+                     static_cast<graph::NodeId>(i), options.capacity,
+                     options.repair_cost);
+    pool.push_back(static_cast<graph::NodeId>(i - 1));
+    pool.push_back(static_cast<graph::NodeId>(i));
+  }
+
+  std::vector<graph::NodeId> picked;
+  picked.reserve(m);
+  for (std::size_t i = m + 1; i < n; ++i) {
+    const auto node = static_cast<graph::NodeId>(i);
+    picked.clear();
+    std::size_t guard = 0;
+    while (picked.size() < m && guard++ < 100 * m) {
+      const graph::NodeId target = pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      if (std::find(picked.begin(), picked.end(), target) != picked.end()) {
+        continue;  // already attached this round
+      }
+      picked.push_back(target);
+    }
+    // Pathological pools (tiny m+1 cores) can starve the sampler; fall back
+    // to the lowest ids not yet picked so every node attaches m times.
+    for (graph::NodeId fallback = 0; picked.size() < m; ++fallback) {
+      if (fallback == node) continue;
+      if (std::find(picked.begin(), picked.end(), fallback) ==
+          picked.end()) {
+        picked.push_back(fallback);
+      }
+    }
+    for (const graph::NodeId target : picked) {
+      builder.add_edge(node, target, options.capacity, options.repair_cost);
+      pool.push_back(node);
+      pool.push_back(target);
+    }
+  }
+  return builder.finalize();
+}
+
+}  // namespace detail
+
+graph::Graph make_topology(const GeneratorOptions& options, util::Rng& rng) {
+  return std::visit(
+      [&rng](const auto& opt) -> graph::Graph {
+        using T = std::decay_t<decltype(opt)>;
+        if constexpr (std::is_same_v<T, BellCanadaOptions>) {
+          return detail::bell_canada_impl(opt);
+        } else if constexpr (std::is_same_v<T, ErdosRenyiOptions>) {
+          return detail::erdos_renyi_impl(opt, rng);
+        } else if constexpr (std::is_same_v<T, CaidaLikeOptions>) {
+          return detail::caida_like_impl(opt, rng);
+        } else if constexpr (std::is_same_v<T, RmatOptions>) {
+          return detail::rmat_impl(opt, rng);
+        } else {
+          return detail::barabasi_albert_impl(opt, rng);
+        }
+      },
+      options);
+}
+
+graph::Graph make_topology(const GeneratorParams& params) {
+  util::Rng rng(params.seed);
+  return make_topology(params.options, rng);
+}
+
+std::string family_name(const GeneratorOptions& options) {
+  return std::visit(
+      [](const auto& opt) -> std::string {
+        using T = std::decay_t<decltype(opt)>;
+        if constexpr (std::is_same_v<T, BellCanadaOptions>) {
+          return "bell_canada";
+        } else if constexpr (std::is_same_v<T, ErdosRenyiOptions>) {
+          return "erdos_renyi";
+        } else if constexpr (std::is_same_v<T, CaidaLikeOptions>) {
+          return "caida";
+        } else if constexpr (std::is_same_v<T, RmatOptions>) {
+          return "rmat";
+        } else {
+          return "barabasi_albert";
+        }
+      },
+      options);
+}
+
+GeneratorParams params_for(std::string_view family) {
+  GeneratorParams params;
+  if (family == "bell_canada") {
+    params.options = BellCanadaOptions{};
+  } else if (family == "erdos_renyi" || family == "er") {
+    params.options = ErdosRenyiOptions{};
+  } else if (family == "caida") {
+    params.options = CaidaLikeOptions{};
+  } else if (family == "rmat") {
+    params.options = RmatOptions{};
+  } else if (family == "barabasi_albert" || family == "ba") {
+    params.options = BarabasiAlbertOptions{};
+  } else {
+    throw std::invalid_argument("unknown topology family: " +
+                                std::string(family));
+  }
+  return params;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+graph::Graph rmat(const RmatOptions& options, util::Rng& rng) {
+  return detail::rmat_impl(options, rng);
+}
+
+graph::Graph barabasi_albert(const BarabasiAlbertOptions& options,
+                             util::Rng& rng) {
+  return detail::barabasi_albert_impl(options, rng);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace netrec::topology

@@ -1,0 +1,95 @@
+// Unified topology generation: one entry point, `make_topology`, that takes
+// a family-tagged parameter struct plus a seed (or an existing Rng stream)
+// and returns a Graph.  Fig drivers and scenario factories select topologies
+// uniformly — by params value or by family name via params_for() — instead
+// of hard-wiring one of the ad-hoc free functions.
+//
+// The per-family free functions (bell_canada_like, erdos_renyi, caida_like,
+// rmat, barabasi_albert) survive as thin deprecated wrappers for one
+// release; they call the same detail:: implementations as make_topology, so
+// the two paths are bit-identical stream-for-stream.
+//
+// The scale families (rmat, barabasi_albert) construct through
+// graph::Builder — O(1) appends, batch dedup at finalize — and are the feed
+// for bench/fig_scale's n=10^6 sweep.  Their nodes are unnamed and sit at
+// the origin: at a million nodes, names and geography are pure overhead,
+// and the scale experiments use random (not geographic) failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "topology/topologies.hpp"
+
+namespace netrec::topology {
+
+struct RmatOptions {
+  std::size_t nodes = 1024;
+  /// Target edge draws = edge_factor * nodes; duplicate draws are discarded
+  /// (Graph500 style), so the finalized edge count lands a little below.
+  double edge_factor = 8.0;
+  /// Recursive-partition probabilities (Graph500 defaults); d = 1 - a-b-c.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double capacity = 40.0;
+  double repair_cost = 1.0;
+  /// Hub-first node relabeling (Builder degree_order): the default for this
+  /// family — RMAT ids carry no meaning and the skewed degrees profit most.
+  bool degree_order = true;
+};
+
+struct BarabasiAlbertOptions {
+  std::size_t nodes = 1024;
+  /// Edges added per arriving node (the model's m); nodes > attach required.
+  std::size_t attach = 2;
+  double capacity = 40.0;
+  double repair_cost = 1.0;
+};
+
+/// Family-tagged parameter set; the variant alternative selects the family.
+using GeneratorOptions =
+    std::variant<BellCanadaOptions, ErdosRenyiOptions, CaidaLikeOptions,
+                 RmatOptions, BarabasiAlbertOptions>;
+
+struct GeneratorParams {
+  GeneratorOptions options = BellCanadaOptions{};
+  std::uint64_t seed = 1;
+};
+
+/// The unified generator: params + seed in, Graph out.  Deterministic —
+/// identical params produce identical graphs.
+graph::Graph make_topology(const GeneratorParams& params);
+
+/// Same, drawing from a caller-owned stream: for scenario factories that
+/// thread one Rng through problem construction.  Consumes exactly the same
+/// variates as the deprecated per-family functions did.
+graph::Graph make_topology(const GeneratorOptions& options, util::Rng& rng);
+
+/// Family name of the selected alternative: "bell_canada", "erdos_renyi",
+/// "caida", "rmat" or "barabasi_albert".
+std::string family_name(const GeneratorOptions& options);
+
+/// Default params for a family name (the names family_name emits, plus the
+/// shorthands "er" and "ba").  Throws std::invalid_argument on unknown.
+GeneratorParams params_for(std::string_view family);
+
+/// R-MAT (recursive matrix) graph with heavy-tailed degrees.
+/// \deprecated Use make_topology(); kept for one release.
+[[deprecated("use topology::make_topology")]] graph::Graph rmat(
+    const RmatOptions& options, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment, connected by construction.
+/// \deprecated Use make_topology(); kept for one release.
+[[deprecated("use topology::make_topology")]] graph::Graph barabasi_albert(
+    const BarabasiAlbertOptions& options, util::Rng& rng);
+
+namespace detail {
+graph::Graph rmat_impl(const RmatOptions& options, util::Rng& rng);
+graph::Graph barabasi_albert_impl(const BarabasiAlbertOptions& options,
+                                  util::Rng& rng);
+}  // namespace detail
+
+}  // namespace netrec::topology

@@ -8,7 +8,10 @@
 
 namespace netrec::topology {
 
-graph::Graph erdos_renyi(const ErdosRenyiOptions& options, util::Rng& rng) {
+namespace detail {
+
+graph::Graph erdos_renyi_impl(const ErdosRenyiOptions& options,
+                              util::Rng& rng) {
   graph::Graph g;
   for (std::size_t i = 0; i < options.nodes; ++i) {
     g.add_node("n" + std::to_string(i), rng.uniform(0.0, 100.0),
@@ -26,7 +29,8 @@ graph::Graph erdos_renyi(const ErdosRenyiOptions& options, util::Rng& rng) {
   return g;
 }
 
-graph::Graph caida_like(const CaidaLikeOptions& options, util::Rng& rng) {
+graph::Graph caida_like_impl(const CaidaLikeOptions& options,
+                             util::Rng& rng) {
   if (options.edges + 1 < options.nodes) {
     throw std::invalid_argument("caida_like: too few edges to connect");
   }
@@ -80,5 +84,25 @@ graph::Graph caida_like(const CaidaLikeOptions& options, util::Rng& rng) {
   }
   return g;
 }
+
+}  // namespace detail
+
+// Deprecated wrappers: one release of grace for out-of-tree callers.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+graph::Graph erdos_renyi(const ErdosRenyiOptions& options, util::Rng& rng) {
+  return detail::erdos_renyi_impl(options, rng);
+}
+
+graph::Graph caida_like(const CaidaLikeOptions& options, util::Rng& rng) {
+  return detail::caida_like_impl(options, rng);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace netrec::topology

@@ -26,7 +26,9 @@ struct BellCanadaOptions {
 };
 
 /// 48-node / 64-edge Bell-Canada-like topology (deterministic).
-graph::Graph bell_canada_like(const BellCanadaOptions& options = {});
+/// \deprecated Use make_topology() (topology/generator.hpp).
+[[deprecated("use topology::make_topology")]] graph::Graph bell_canada_like(
+    const BellCanadaOptions& options = {});
 
 struct ErdosRenyiOptions {
   std::size_t nodes = 100;
@@ -36,7 +38,9 @@ struct ErdosRenyiOptions {
 };
 
 /// G(n, p); node coordinates uniform in [0, 100]^2.
-graph::Graph erdos_renyi(const ErdosRenyiOptions& options, util::Rng& rng);
+/// \deprecated Use make_topology() (topology/generator.hpp).
+[[deprecated("use topology::make_topology")]] graph::Graph erdos_renyi(
+    const ErdosRenyiOptions& options, util::Rng& rng);
 
 struct CaidaLikeOptions {
   std::size_t nodes = 825;
@@ -47,6 +51,17 @@ struct CaidaLikeOptions {
 
 /// AS-like sparse graph with heavy-tailed degrees, connected by
 /// construction, trimmed to exactly the requested node/edge counts.
-graph::Graph caida_like(const CaidaLikeOptions& options, util::Rng& rng);
+/// \deprecated Use make_topology() (topology/generator.hpp).
+[[deprecated("use topology::make_topology")]] graph::Graph caida_like(
+    const CaidaLikeOptions& options, util::Rng& rng);
+
+namespace detail {
+// Shared implementations behind make_topology and the deprecated wrappers
+// (bit-identical streams either way).
+graph::Graph bell_canada_impl(const BellCanadaOptions& options);
+graph::Graph erdos_renyi_impl(const ErdosRenyiOptions& options,
+                              util::Rng& rng);
+graph::Graph caida_like_impl(const CaidaLikeOptions& options, util::Rng& rng);
+}  // namespace detail
 
 }  // namespace netrec::topology

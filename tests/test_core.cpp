@@ -24,7 +24,7 @@ Graph path_graph(int n, double capacity = 10.0) {
 TEST(RepairState, TracksRepairsAndCosts) {
   Graph g = path_graph(3);
   g.break_everything();
-  g.node(1).repair_cost = 4.0;
+  g.set_node_repair_cost(1, 4.0);
   RepairState state(g);
   EXPECT_FALSE(state.node_ok(0));
   EXPECT_TRUE(state.repair_node(0));
@@ -125,11 +125,11 @@ TEST(Centrality, DynamicMetricSteersAwayFromExpensiveRepairs) {
   g.add_edge(0, 1, 10.0);
   g.add_edge(1, 2, 10.0);
   g.add_edge(2, 3, 10.0);
-  g.edge(direct).broken = true;
-  g.edge(direct).repair_cost = 100.0;
+  g.set_edge_broken(direct, true);
+  g.set_edge_repair_cost(direct, 100.0);
   auto metric = [&g](EdgeId e) {
-    const auto& edge = g.edge(e);
-    return (1.0 + (edge.broken ? edge.repair_cost : 0.0)) / edge.capacity;
+    return (1.0 + (g.edge_broken(e) ? g.edge_repair_cost(e) : 0.0)) /
+           g.edge_capacity(e);
   };
   auto cap = mcf::static_capacity(g);
   const std::vector<mcf::Demand> demands{{0, 3, 5.0}};
@@ -170,7 +170,7 @@ TEST(Problem, ScoreSolutionMeasuresSatisfaction) {
 TEST(Problem, ValidateRejectsBogusSolutions) {
   RecoveryProblem p;
   p.graph = path_graph(3, 5.0);
-  p.graph.node(0).broken = true;
+  p.graph.set_node_broken(0, true);
   p.demands = {{0, 2, 1.0}};
 
   RecoverySolution s;

@@ -13,7 +13,7 @@
 #include "lp/simplex.hpp"
 #include "mcf/routing.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 
@@ -24,16 +24,16 @@ TEST(GmlFile, RoundTripsThroughDisk) {
   const auto path =
       (std::filesystem::temp_directory_path() / "netrec_gml_test.gml")
           .string();
-  graph::Graph g = topology::bell_canada_like();
-  g.node(3).broken = true;
-  g.edge(5).broken = true;
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
+  g.set_node_broken(3, true);
+  g.set_edge_broken(5, true);
   graph::save_gml_file(g, path);
   const graph::Graph loaded = graph::load_gml_file(path);
   EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
   EXPECT_EQ(loaded.num_edges(), g.num_edges());
-  EXPECT_TRUE(loaded.node(3).broken);
-  EXPECT_TRUE(loaded.edge(5).broken);
-  EXPECT_EQ(loaded.node(0).name, g.node(0).name);
+  EXPECT_TRUE(loaded.node_broken(3));
+  EXPECT_TRUE(loaded.edge_broken(5));
+  EXPECT_EQ(loaded.node_name(0), g.node_name(0));
   std::remove(path.c_str());
 }
 
@@ -64,7 +64,7 @@ TEST(Opt, InfeasibleInstanceIsBestEffortNotCrash) {
 
 TEST(Opt, EmptyDemandIsTrivial) {
   core::RecoveryProblem p;
-  p.graph = topology::bell_canada_like();
+  p.graph = topology::make_topology({topology::BellCanadaOptions{}});
   p.graph.break_everything();
   const auto r = heuristics::solve_opt(p);
   EXPECT_EQ(r.solution.total_repairs(), 0u);
@@ -95,7 +95,7 @@ TEST(Simplex, IterationLimitIsReported) {
 TEST(Isp, SingleNodeGraphTerminates) {
   core::RecoveryProblem p;
   p.graph.add_node();
-  p.graph.node(0).broken = true;
+  p.graph.set_node_broken(0, true);
   p.demands = {{0, 0, 3.0}};  // self-demand, trivially satisfied
   const auto s = core::IspSolver(p).solve();
   EXPECT_EQ(s.total_repairs(), 0u);
@@ -114,7 +114,7 @@ TEST(Isp, DisconnectedEndpointsAreInfeasibleNotFatal) {
 
 TEST(Srt, EmptyDemandRepairsNothing) {
   core::RecoveryProblem p;
-  p.graph = topology::bell_canada_like();
+  p.graph = topology::make_topology({topology::BellCanadaOptions{}});
   p.graph.break_everything();
   const auto s = heuristics::solve_srt(p);
   EXPECT_EQ(s.total_repairs(), 0u);

@@ -115,8 +115,8 @@ TEST(GmlEdgeCases, InvalidCostsAndCoordinatesThrow) {
   // Negative coordinates are legitimate (longitudes/latitudes).
   const graph::Graph g =
       graph::parse_gml(wrap(node(0, "x -71.06 y 42.35")));
-  EXPECT_DOUBLE_EQ(g.node(0).x, -71.06);
-  EXPECT_DOUBLE_EQ(g.node(0).y, 42.35);
+  EXPECT_DOUBLE_EQ(g.node_x(0), -71.06);
+  EXPECT_DOUBLE_EQ(g.node_y(0), 42.35);
 }
 
 TEST(GmlEdgeCases, ValidAttributesStillLoad) {
@@ -125,9 +125,9 @@ TEST(GmlEdgeCases, ValidAttributesStillLoad) {
            "edge [ source 0 target 1 capacity 7.25 cost 0 ]\n"));
   EXPECT_EQ(g.num_nodes(), 2u);
   ASSERT_EQ(g.num_edges(), 1u);
-  EXPECT_DOUBLE_EQ(g.edge(0).capacity, 7.25);
-  EXPECT_DOUBLE_EQ(g.edge(0).repair_cost, 0.0);
-  EXPECT_DOUBLE_EQ(g.node(0).repair_cost, 2.5);
+  EXPECT_DOUBLE_EQ(g.edge_capacity(0), 7.25);
+  EXPECT_DOUBLE_EQ(g.edge_repair_cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.node_repair_cost(0), 2.5);
 }
 
 }  // namespace

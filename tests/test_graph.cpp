@@ -64,7 +64,7 @@ TEST(Graph, BreakAndRepairBookkeeping) {
 
 TEST(Graph, EdgeUsableRequiresWorkingEndpoints) {
   Graph g = make_square_with_diagonal();
-  g.node(1).broken = true;
+  g.set_node_broken(1, true);
   EXPECT_FALSE(g.edge_usable(g.find_edge(0, 1)));
   EXPECT_TRUE(g.edge_usable(g.find_edge(3, 0)));
 }
@@ -81,8 +81,8 @@ TEST(Traversal, BfsHopsAndDiameter) {
 
 TEST(Traversal, FiltersExcludeBrokenElements) {
   Graph g = make_square_with_diagonal();
-  g.edge(g.find_edge(0, 2)).broken = true;
-  g.edge(g.find_edge(0, 1)).broken = true;
+  g.set_edge_broken(g.find_edge(0, 2), true);
+  g.set_edge_broken(g.find_edge(0, 1), true);
   const auto dist = bfs_hops(g, 0, working_edge_filter(g));
   EXPECT_EQ(dist[2], 2);  // 0-3-2
   EXPECT_EQ(dist[1], 3);  // 0-3-2-1
@@ -135,7 +135,7 @@ TEST(Dijkstra, RejectsNegativeLengths) {
 
 TEST(WidestPath, PicksMaximumBottleneck) {
   Graph g = make_square_with_diagonal();
-  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  auto cap = [&g](EdgeId e) { return g.edge_capacity(e); };
   auto path = widest_path(g, 0, 2, cap);
   ASSERT_TRUE(path.has_value());
   EXPECT_NEAR(path->capacity(cap), 10.0, 1e-12);  // around, not diagonal
@@ -161,21 +161,21 @@ TEST(Maxflow, SingleEdge) {
   g.add_node();
   g.add_edge(0, 1, 7.5);
   const auto r =
-      max_flow(g, 0, 1, [&g](EdgeId e) { return g.edge(e).capacity; });
+      max_flow(g, 0, 1, [&g](EdgeId e) { return g.edge_capacity(e); });
   EXPECT_NEAR(r.value, 7.5, 1e-9);
 }
 
 TEST(Maxflow, ParallelPathsSum) {
   Graph g = make_square_with_diagonal();
   const auto r =
-      max_flow(g, 0, 2, [&g](EdgeId e) { return g.edge(e).capacity; });
+      max_flow(g, 0, 2, [&g](EdgeId e) { return g.edge_capacity(e); });
   // 0-1-2 (10) + 0-3-2 (10) + 0-2 (3).
   EXPECT_NEAR(r.value, 23.0, 1e-9);
 }
 
 TEST(Maxflow, RespectsNodeFilter) {
   Graph g = make_square_with_diagonal();
-  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  auto cap = [&g](EdgeId e) { return g.edge_capacity(e); };
   const auto r = max_flow(g, 0, 2, cap, {},
                           [](NodeId n) { return n != 1; });
   EXPECT_NEAR(r.value, 13.0, 1e-9);  // loses the 0-1-2 path
@@ -183,7 +183,7 @@ TEST(Maxflow, RespectsNodeFilter) {
 
 TEST(Maxflow, DecompositionRecoversValue) {
   Graph g = make_square_with_diagonal();
-  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  auto cap = [&g](EdgeId e) { return g.edge_capacity(e); };
   const auto r = max_flow(g, 0, 2, cap);
   const auto paths = decompose_flow(g, 0, 2, r.edge_flow);
   double total = 0.0;
@@ -208,15 +208,14 @@ TEST(Maxflow, RandomGraphsFlowConservation) {
         }
       }
     }
-    auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+    auto cap = [&g](EdgeId e) { return g.edge_capacity(e); };
     const auto r = max_flow(g, 0, n - 1, cap);
     // Conservation at interior nodes.
     for (NodeId v = 1; v < n - 1; ++v) {
       double net = 0.0;
       for (EdgeId e : g.incident_edges(v)) {
-        const Edge& edge = g.edge(e);
-        net += edge.u == v ? r.edge_flow[static_cast<std::size_t>(e)]
-                           : -r.edge_flow[static_cast<std::size_t>(e)];
+        net += g.edge_u(e) == v ? r.edge_flow[static_cast<std::size_t>(e)]
+                                : -r.edge_flow[static_cast<std::size_t>(e)];
       }
       EXPECT_NEAR(net, 0.0, 1e-6);
     }
@@ -251,7 +250,7 @@ TEST(SimplePaths, HonoursLimits) {
 
 TEST(SuccessivePaths, CoversDemandAndReportsCapacities) {
   Graph g = make_square_with_diagonal();
-  auto cap = [&g](EdgeId e) { return g.edge(e).capacity; };
+  auto cap = [&g](EdgeId e) { return g.edge_capacity(e); };
   auto ones = [](EdgeId) { return 1.0; };
   const auto r = successive_shortest_paths(g, 0, 2, 15.0, ones, cap);
   EXPECT_GE(r.total_capacity, 15.0);
@@ -273,20 +272,19 @@ TEST(SuccessivePaths, StopsWhenDisconnected) {
 
 TEST(Gml, RoundTripPreservesEverything) {
   Graph g = make_square_with_diagonal();
-  g.node(1).broken = true;
-  g.edge(2).broken = true;
-  g.node(0).x = -73.5;
-  g.node(0).y = 45.5;
-  g.edge(0).repair_cost = 2.5;
+  g.set_node_broken(1, true);
+  g.set_edge_broken(2, true);
+  g.set_node_position(0, -73.5, 45.5);
+  g.set_edge_repair_cost(0, 2.5);
 
   const Graph h = parse_gml(to_gml(g));
   ASSERT_EQ(h.num_nodes(), g.num_nodes());
   ASSERT_EQ(h.num_edges(), g.num_edges());
-  EXPECT_TRUE(h.node(1).broken);
-  EXPECT_TRUE(h.edge(2).broken);
-  EXPECT_DOUBLE_EQ(h.node(0).x, -73.5);
-  EXPECT_DOUBLE_EQ(h.edge(0).repair_cost, 2.5);
-  EXPECT_EQ(h.node(2).name, "n2");
+  EXPECT_TRUE(h.node_broken(1));
+  EXPECT_TRUE(h.edge_broken(2));
+  EXPECT_DOUBLE_EQ(h.node_x(0), -73.5);
+  EXPECT_DOUBLE_EQ(h.edge_repair_cost(0), 2.5);
+  EXPECT_EQ(h.node_name(2), "n2");
 }
 
 TEST(Gml, ParsesTopologyZooStyle) {
@@ -303,9 +301,9 @@ graph [
   const Graph g = parse_gml(text);
   ASSERT_EQ(g.num_nodes(), 2u);
   ASSERT_EQ(g.num_edges(), 1u);
-  EXPECT_EQ(g.node(0).name, "Montreal");
-  EXPECT_NEAR(g.node(0).x, -73.57, 1e-9);
-  EXPECT_NEAR(g.edge(0).capacity, 30.0, 1e-9);
+  EXPECT_EQ(g.node_name(0), "Montreal");
+  EXPECT_NEAR(g.node_x(0), -73.57, 1e-9);
+  EXPECT_NEAR(g.edge_capacity(0), 30.0, 1e-9);
 }
 
 TEST(Gml, RejectsMalformedInput) {

@@ -17,7 +17,7 @@
 #include "graph/simple_paths.hpp"
 #include "graph/traversal.hpp"
 #include "graph/view.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -32,24 +32,24 @@ graph::Graph broken_er(std::uint64_t seed, std::size_t nodes = 40,
   options.nodes = nodes;
   options.edge_probability = p;
   options.capacity = 8.0;
-  graph::Graph g = topology::erdos_renyi(options, rng);
+  graph::Graph g = topology::make_topology(options, rng);
   for (std::size_t n = 0; n < g.num_nodes(); ++n) {
-    if (rng.chance(0.1)) g.node(static_cast<graph::NodeId>(n)).broken = true;
+    if (rng.chance(0.1)) g.set_node_broken(static_cast<graph::NodeId>(n), true);
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    if (rng.chance(0.15)) g.edge(static_cast<graph::EdgeId>(e)).broken = true;
+    if (rng.chance(0.15)) g.set_edge_broken(static_cast<graph::EdgeId>(e), true);
   }
   return g;
 }
 
 graph::Graph broken_bell_canada(std::uint64_t seed) {
   util::Rng rng(seed);
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   for (std::size_t n = 0; n < g.num_nodes(); ++n) {
-    if (rng.chance(0.15)) g.node(static_cast<graph::NodeId>(n)).broken = true;
+    if (rng.chance(0.15)) g.set_node_broken(static_cast<graph::NodeId>(n), true);
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    if (rng.chance(0.2)) g.edge(static_cast<graph::EdgeId>(e)).broken = true;
+    if (rng.chance(0.2)) g.set_edge_broken(static_cast<graph::EdgeId>(e), true);
   }
   return g;
 }
@@ -74,7 +74,7 @@ void expect_same_tree(const graph::ShortestPathTree& a,
 void check_dijkstra_equivalence(const graph::Graph& g) {
   const auto length = test_length();
   const auto edge_ok = graph::working_edge_filter(g);
-  const auto node_ok = [&g](graph::NodeId n) { return !g.node(n).broken; };
+  const auto node_ok = [&g](graph::NodeId n) { return !g.node_broken(n); };
   for (graph::NodeId s = 0; s < static_cast<graph::NodeId>(g.num_nodes());
        s += 7) {
     expect_same_tree(graph::legacy::dijkstra(g, s, length, edge_ok, node_ok),
@@ -100,7 +100,7 @@ TEST(GraphViewDijkstra, BitIdenticalToLegacyOnBellCanada) {
 TEST(GraphViewWidestPath, BitIdenticalToLegacy) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const graph::Graph g = broken_er(seed);
-    const auto capacity = [&g](graph::EdgeId e) { return g.edge(e).capacity; };
+    const auto capacity = [&g](graph::EdgeId e) { return g.edge_capacity(e); };
     const auto edge_ok = graph::working_edge_filter(g);
     const auto t = static_cast<graph::NodeId>(g.num_nodes() - 1);
     const auto a = graph::legacy::widest_path(g, 0, t, capacity, edge_ok);
@@ -131,7 +131,7 @@ TEST(GraphViewBetweenness, BitIdenticalToLegacyOnBellCanada) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     const graph::Graph g = broken_bell_canada(seed);
     const auto length = test_length();
-    const auto node_ok = [&g](graph::NodeId n) { return !g.node(n).broken; };
+    const auto node_ok = [&g](graph::NodeId n) { return !g.node_broken(n); };
     const auto a = graph::legacy::betweenness_centrality(
         g, length, graph::working_edge_filter(g), node_ok);
     const auto b = graph::betweenness_centrality(
@@ -146,9 +146,9 @@ TEST(GraphViewBetweenness, BitIdenticalToLegacyOnBellCanada) {
 TEST(GraphViewMaxflow, BitIdenticalToLegacy) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const graph::Graph g = broken_er(seed, /*nodes=*/30, /*p=*/0.2);
-    const auto capacity = [&g](graph::EdgeId e) { return g.edge(e).capacity; };
+    const auto capacity = [&g](graph::EdgeId e) { return g.edge_capacity(e); };
     const auto edge_ok = graph::working_edge_filter(g);
-    const auto node_ok = [&g](graph::NodeId n) { return !g.node(n).broken; };
+    const auto node_ok = [&g](graph::NodeId n) { return !g.node_broken(n); };
     const auto t = static_cast<graph::NodeId>(g.num_nodes() - 1);
     const auto a = graph::legacy::max_flow(g, 0, t, capacity, edge_ok,
                                            node_ok);
@@ -168,7 +168,7 @@ TEST(GraphViewSuccessivePaths, BitIdenticalToLegacyComposition) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const graph::Graph g = broken_er(seed);
     const auto length = test_length();
-    const auto capacity = [&g](graph::EdgeId e) { return g.edge(e).capacity; };
+    const auto capacity = [&g](graph::EdgeId e) { return g.edge_capacity(e); };
     const auto edge_ok = graph::working_edge_filter(g);
     const auto t = static_cast<graph::NodeId>(g.num_nodes() - 1);
     const double demand = 30.0;

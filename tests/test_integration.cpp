@@ -11,7 +11,7 @@
 #include "graph/traversal.hpp"
 #include "mcf/routing.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 
 namespace netrec {
 namespace {
@@ -19,7 +19,7 @@ namespace {
 core::RecoveryProblem bell_instance(int pairs, double flow,
                                     std::uint64_t seed) {
   core::RecoveryProblem p;
-  p.graph = topology::bell_canada_like();
+  p.graph = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng rng(seed);
   std::size_t redraws = 0;
   do {
@@ -91,7 +91,7 @@ TEST(BellCanada, GaussianDisasterRepairsScaleWithVariance) {
   double prev_broken = -1.0;
   for (double variance : {20.0, 80.0, 150.0}) {
     core::RecoveryProblem p;
-    p.graph = topology::bell_canada_like();
+    p.graph = topology::make_topology({topology::BellCanadaOptions{}});
     util::Rng demand_rng(variance * 7 + 1);
     p.demands = scenario::far_apart_demands(p.graph, 3, 10.0, demand_rng);
     disruption::GaussianDisasterOptions dopt;
@@ -119,7 +119,7 @@ TEST(ErdosRenyi, CliqueGivesTrivialSolutionForEveryAlgorithm) {
   eopt.nodes = 30;
   eopt.edge_probability = 1.0;
   core::RecoveryProblem p;
-  p.graph = topology::erdos_renyi(eopt, rng);
+  p.graph = topology::make_topology(eopt, rng);
   util::Rng demand_rng(6);
   p.demands = scenario::far_apart_demands(p.graph, 5, 1.0, demand_rng, 0.0);
   disruption::complete_destruction(p.graph);
@@ -143,7 +143,7 @@ TEST(ErdosRenyi, SteinerOptNeverAboveIsp) {
     eopt.nodes = 40;
     eopt.edge_probability = p_edge;
     core::RecoveryProblem problem;
-    problem.graph = topology::erdos_renyi(eopt, rng);
+    problem.graph = topology::make_topology(eopt, rng);
     if (graph::hop_diameter(problem.graph) < 0) continue;
     util::Rng demand_rng(17);
     problem.demands =
@@ -169,7 +169,7 @@ TEST(CaidaLike, IspNoLossWhereSrtLoses) {
   copt.edges = 370;
   copt.capacity = 30.0;
   core::RecoveryProblem p;
-  p.graph = topology::caida_like(copt, topo_rng);
+  p.graph = topology::make_topology(copt, topo_rng);
   util::Rng rng(66);
   std::size_t redraws = 0;
   do {

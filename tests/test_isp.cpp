@@ -56,11 +56,11 @@ TEST(Isp, ReusesWorkingIslandInTheMiddle) {
   // repair the rest; but if edges 1-2,2-3 and nodes 1,2,3 work, only the
   // outer pieces are repaired.
   RecoveryProblem p = destroyed_path(5, 10.0, 5.0);
-  p.graph.node(1).broken = false;
-  p.graph.node(2).broken = false;
-  p.graph.node(3).broken = false;
-  p.graph.edge(1).broken = false;  // 1-2
-  p.graph.edge(2).broken = false;  // 2-3
+  p.graph.set_node_broken(1, false);
+  p.graph.set_node_broken(2, false);
+  p.graph.set_node_broken(3, false);
+  p.graph.set_edge_broken(1, false);  // 1-2
+  p.graph.set_edge_broken(2, false);  // 2-3
   IspSolver solver(p);
   const RecoverySolution s = solver.solve();
   EXPECT_DOUBLE_EQ(s.satisfied_fraction, 1.0);
@@ -84,7 +84,7 @@ TEST(Isp, ConcentratesTwoDemandsOnSharedCorridor) {
   p.graph.add_edge(3, 5, 20.0);
   // Expensive private bypass that a naive shortest-path approach might use.
   p.graph.add_edge(0, 4, 20.0);
-  p.graph.edge(5).repair_cost = 10.0;
+  p.graph.set_edge_repair_cost(5, 10.0);
   p.graph.break_everything();
   p.demands = {{0, 4, 5.0}, {1, 5, 5.0}};
 
@@ -121,7 +121,7 @@ TEST(Isp, PrunesDemandsSatisfiedByWorkingNetwork) {
   RecoveryProblem p = destroyed_path(4, 10.0, 5.0);
   p.graph.repair_everything();
   p.graph.add_node();                    // node 4, isolated & broken
-  p.graph.node(4).broken = true;
+  p.graph.set_node_broken(4, true);
   IspSolver solver(p);
   const RecoverySolution s = solver.solve();
   EXPECT_EQ(s.total_repairs(), 0u);
@@ -183,10 +183,10 @@ TEST_P(IspRandomSweep, FeasibleInstancesAreFullySatisfied) {
   // Random disruption (possibly total).
   const double destroy = rng.uniform(0.3, 1.0);
   for (std::size_t i = 0; i < p.graph.num_nodes(); ++i) {
-    if (rng.chance(destroy)) p.graph.node(static_cast<NodeId>(i)).broken = true;
+    if (rng.chance(destroy)) p.graph.set_node_broken(static_cast<NodeId>(i), true);
   }
   for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
-    if (rng.chance(destroy)) p.graph.edge(static_cast<EdgeId>(e)).broken = true;
+    if (rng.chance(destroy)) p.graph.set_edge_broken(static_cast<EdgeId>(e), true);
   }
   // A few small far-apart demands (kept below min capacity so instances stay
   // feasible by construction).

@@ -17,7 +17,7 @@
 #include "disruption/disruption.hpp"
 #include "graph/traversal.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -34,19 +34,19 @@ core::RecoveryProblem er_scenario(std::uint64_t seed) {
   eopt.capacity = 10.0;
   std::size_t attempts = 0;
   do {
-    p.graph = topology::erdos_renyi(eopt, rng);
+    p.graph = topology::make_topology(eopt, rng);
   } while (graph::hop_diameter(p.graph) < 0 && ++attempts < 50);
   util::Rng demand_rng = rng.fork();
   p.demands = scenario::far_apart_demands(p.graph, 3, 4.0, demand_rng);
   // Heavy but not complete destruction, so prune bubbles exist.
   for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
     if (rng.chance(0.55)) {
-      p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+      p.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
     }
   }
   for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
     if (rng.chance(0.6)) {
-      p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+      p.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
     }
   }
   return p;
@@ -56,7 +56,7 @@ core::RecoveryProblem er_scenario(std::uint64_t seed) {
 core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
   util::Rng rng(seed * 7907 + 5);
   core::RecoveryProblem p;
-  p.graph = topology::bell_canada_like();
+  p.graph = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng demand_rng = rng.fork();
   p.demands = scenario::far_apart_demands(p.graph, 4, 3.0, demand_rng);
   if (seed % 2 == 0) {
@@ -64,12 +64,12 @@ core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
   } else {
     for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
       if (rng.chance(0.5)) {
-        p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+        p.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
       }
     }
     for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
       if (rng.chance(0.5)) {
-        p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+        p.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
       }
     }
   }

@@ -123,8 +123,8 @@ TEST(Routing, RouteDemandsReturnsValidRouting) {
 
 TEST(Routing, FiltersRestrictToWorkingSubgraph) {
   Graph g = make_square_with_diagonal();
-  g.node(1).broken = true;
-  g.edge(g.find_edge(0, 2)).broken = true;
+  g.set_node_broken(1, true);
+  g.set_edge_broken(g.find_edge(0, 2), true);
   auto cap = static_capacity(g);
   // Only 0-3-2 left: capacity 10.
   const auto ok = working_edge_filter(g);
@@ -217,7 +217,7 @@ TEST(BrokenUsage, AvoidsBrokenDetourWhenFreePathExists) {
   g.add_edge(0, 1, 10.0);
   g.add_edge(1, 2, 10.0);
   const EdgeId direct = g.add_edge(0, 2, 10.0);
-  g.edge(direct).broken = true;
+  g.set_edge_broken(direct, true);
   const auto r = min_broken_usage(g, {Demand{0, 2, 8.0}});
   ASSERT_TRUE(r.feasible);
   EXPECT_NEAR(r.cost, 0.0, 1e-6);
@@ -230,8 +230,8 @@ TEST(BrokenUsage, PaysForBrokenEdgeWhenForced) {
   g.add_edge(0, 1, 10.0);
   g.add_edge(1, 2, 4.0);
   const EdgeId direct = g.add_edge(0, 2, 10.0);
-  g.edge(direct).broken = true;
-  g.edge(direct).repair_cost = 3.0;
+  g.set_edge_broken(direct, true);
+  g.set_edge_repair_cost(direct, 3.0);
   // Demand 8 > working capacity 4: at least 4 units cross the broken edge,
   // each paying cost 3 -> objective 12.
   const auto r = min_broken_usage(g, {Demand{0, 2, 8.0}});
@@ -262,7 +262,7 @@ TEST(OptimalFace, BandBracketsRepairCounts) {
   const EdgeId a2 = g.add_edge(1, 3, 10.0);
   const EdgeId b1 = g.add_edge(0, 2, 10.0);
   const EdgeId b2 = g.add_edge(2, 3, 10.0);
-  for (EdgeId e : {a1, a2, b1, b2}) g.edge(e).broken = true;
+  for (EdgeId e : {a1, a2, b1, b2}) g.set_edge_broken(e, true);
   // Broken-edge costs are zero-sum for the face: make them all equal so
   // every routing is optimal for eq. (8)... cost = 2 * flow either way.
   util::Rng rng(3);

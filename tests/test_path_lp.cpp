@@ -50,8 +50,8 @@ TEST(PathLp, MinCostPrefersCheapEdges) {
   Graph g = two_route_graph(10.0, 10.0);
   // Route A (via node 1) costs 5 per edge; route B free.
   auto cost = [&g](EdgeId e) {
-    const auto& edge = g.edge(e);
-    return (edge.u == 1 || edge.v == 1) ? 5.0 : 0.0;
+    const auto [eu, ev] = g.edge_endpoints(e);
+    return (eu == 1 || ev == 1) ? 5.0 : 0.0;
   };
   PathLp lp(g, {Demand{0, 3, 8.0}}, {}, static_capacity(g));
   lp.set_min_cost(cost);
@@ -64,8 +64,8 @@ TEST(PathLp, MinCostPrefersCheapEdges) {
 TEST(PathLp, MinCostPaysWhenForcedAcrossBothRoutes) {
   Graph g = two_route_graph(10.0, 4.0);
   auto cost = [&g](EdgeId e) {
-    const auto& edge = g.edge(e);
-    return (edge.u == 1 || edge.v == 1) ? 1.0 : 0.0;
+    const auto [eu, ev] = g.edge_endpoints(e);
+    return (eu == 1 || ev == 1) ? 1.0 : 0.0;
   };
   // Demand 10 > free route capacity 4: six units must take the 2-cost route.
   PathLp lp(g, {Demand{0, 3, 10.0}}, {}, static_capacity(g));
@@ -112,15 +112,15 @@ TEST(PathLp, CostBoundRequiresMinCostMode) {
 TEST(PathLp, CostBoundPinsTheOptimalFace) {
   Graph g = two_route_graph(10.0, 10.0);
   auto route_a_cost = [&g](EdgeId e) {
-    const auto& edge = g.edge(e);
-    return (edge.u == 1 || edge.v == 1) ? 1.0 : 0.0;
+    const auto [eu, ev] = g.edge_endpoints(e);
+    return (eu == 1 || ev == 1) ? 1.0 : 0.0;
   };
   // Secondary objective prefers route A, but the bound row pins route-A
   // usage to zero cost, forcing the flow onto route B.
   PathLp lp(g, {Demand{0, 3, 5.0}}, {}, static_capacity(g));
   lp.set_min_cost([&g](EdgeId e) {
-    const auto& edge = g.edge(e);
-    return (edge.u == 2 || edge.v == 2) ? 1.0 : 0.0;  // dislikes route B
+    const auto [eu, ev] = g.edge_endpoints(e);
+    return (eu == 2 || ev == 2) ? 1.0 : 0.0;  // dislikes route B
   });
   lp.add_cost_bound(PathCostBound{route_a_cost, 0.0});
   const auto r = lp.solve();
@@ -204,7 +204,7 @@ struct SessionFixture {
   explicit SessionFixture(Graph graph)
       : g(std::move(graph)), residual(g.num_edges()), cache(g) {
     for (std::size_t e = 0; e < g.num_edges(); ++e) {
-      residual[e] = g.edge(static_cast<EdgeId>(e)).capacity;
+      residual[e] = g.edge_capacity(static_cast<EdgeId>(e));
     }
     graph::ViewConfig config;
     config.capacity = [this](EdgeId e) {

@@ -28,7 +28,7 @@
 #include "recovery/timeline.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/timeline_runner.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -46,18 +46,18 @@ core::RecoveryProblem er_scenario(std::uint64_t seed) {
   eopt.capacity = 10.0;
   std::size_t attempts = 0;
   do {
-    p.graph = topology::erdos_renyi(eopt, rng);
+    p.graph = topology::make_topology(eopt, rng);
   } while (graph::hop_diameter(p.graph) < 0 && ++attempts < 50);
   util::Rng demand_rng = rng.fork();
   p.demands = scenario::far_apart_demands(p.graph, 3, 4.0, demand_rng);
   for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
     if (rng.chance(0.55)) {
-      p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+      p.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
     }
   }
   for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
     if (rng.chance(0.6)) {
-      p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+      p.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
     }
   }
   return p;
@@ -67,7 +67,7 @@ core::RecoveryProblem er_scenario(std::uint64_t seed) {
 core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
   util::Rng rng(seed * 7907 + 5);
   core::RecoveryProblem p;
-  p.graph = topology::bell_canada_like();
+  p.graph = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng demand_rng = rng.fork();
   p.demands = scenario::far_apart_demands(p.graph, 4, 3.0, demand_rng);
   if (seed % 2 == 0) {
@@ -75,12 +75,12 @@ core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
   } else {
     for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
       if (rng.chance(0.5)) {
-        p.graph.node(static_cast<graph::NodeId>(n)).broken = true;
+        p.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
       }
     }
     for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
       if (rng.chance(0.5)) {
-        p.graph.edge(static_cast<graph::EdgeId>(e)).broken = true;
+        p.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
       }
     }
   }
@@ -312,15 +312,15 @@ class ScriptedDynamics : public recovery::Dynamics {
     for (const Event& event : events_) {
       if (event.stage != stage) continue;
       if (event.is_node) {
-        auto& node = g.node(static_cast<graph::NodeId>(event.id));
-        if (!node.broken) {
-          node.broken = true;
+        const auto id = static_cast<graph::NodeId>(event.id);
+        if (!g.node_broken(id)) {
+          g.set_node_broken(id, true);
           ++report.broken_nodes;
         }
       } else {
-        auto& edge = g.edge(static_cast<graph::EdgeId>(event.id));
-        if (!edge.broken) {
-          edge.broken = true;
+        const auto id = static_cast<graph::EdgeId>(event.id);
+        if (!g.edge_broken(id)) {
+          g.set_edge_broken(id, true);
           ++report.broken_edges;
         }
       }
@@ -359,7 +359,7 @@ TEST(TimelineRevival, RepairedEdgeRebrokenAndRepairedAgainStaysExact) {
   g.add_edge(d1, d2, 10.0);
   g.add_edge(d2, t, 10.0);
   disruption::complete_destruction(g);
-  for (const auto n : {s, a, t, d1, d2}) g.node(n).broken = false;
+  for (const auto n : {s, a, t, d1, d2}) g.set_node_broken(n, false);
   problem.demands = {{s, t, 5.0}};
 
   // List order repairs sa then at (stages 0 and 1, budget 1); the script
@@ -422,7 +422,7 @@ TEST(Timeline, BudgetPacesRepairsAcrossStages) {
 
 TEST(Timeline, StopsImmediatelyWhenNothingIsBroken) {
   core::RecoveryProblem problem;
-  problem.graph = topology::bell_canada_like();
+  problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng rng(3);
   problem.demands = scenario::far_apart_demands(problem.graph, 2, 1.0, rng);
   recovery::ListOrderPolicy policy;
@@ -546,8 +546,8 @@ TEST(Policies, ReplanAdaptsToDamageTheInitialPlanNeverSaw) {
   const auto at = g.add_edge(a, t, 10.0);
   const auto sb = g.add_edge(s, b, 10.0);
   g.add_edge(b, t, 10.0);
-  g.edge(sa).broken = true;
-  g.edge(at).broken = true;
+  g.set_edge_broken(sa, true);
+  g.set_edge_broken(at, true);
   problem.demands = {{s, t, 5.0}};
 
   // Break sa again and also sb at stage 1 (after the stage-0/1 repairs).
@@ -579,7 +579,7 @@ TEST(Policies, ReplanAdaptsToDamageTheInitialPlanNeverSaw) {
 scenario::ProblemFactory runner_factory() {
   return [](util::Rng& rng) {
     core::RecoveryProblem problem;
-    problem.graph = topology::bell_canada_like();
+    problem.graph = topology::make_topology({topology::BellCanadaOptions{}});
     util::Rng demand_rng = rng.fork();
     problem.demands =
         scenario::far_apart_demands(problem.graph, 3, 3.0, demand_rng);

@@ -14,7 +14,7 @@
 #include "heuristics/baselines.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 
@@ -24,7 +24,7 @@ namespace {
 scenario::ProblemFactory bell_factory(std::size_t pairs, double flow) {
   return [pairs, flow](util::Rng& rng) {
     core::RecoveryProblem p;
-    p.graph = topology::bell_canada_like();
+    p.graph = topology::make_topology({topology::BellCanadaOptions{}});
     p.demands = scenario::far_apart_demands(p.graph, pairs, flow, rng);
     disruption::complete_destruction(p.graph);
     return p;
@@ -134,7 +134,7 @@ TEST(ScenarioEngine, DifferentSeedsProduceDifferentRngStreams) {
 }
 
 TEST(ScenarioEngine, FarApartDemandsAreSeedDeterministic) {
-  const graph::Graph g = topology::bell_canada_like();
+  const graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng a(2024);
   util::Rng b(2024);
   const auto da = scenario::far_apart_demands(g, 4, 10.0, a);

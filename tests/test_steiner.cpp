@@ -164,8 +164,8 @@ double brute_force_forest(const Graph& g,
     for (int e = 0; e < m; ++e) {
       if (!((mask >> e) & 1)) continue;
       cost += edge_cost(static_cast<EdgeId>(e));
-      node_used[static_cast<std::size_t>(g.edge(e).u)] = 1;
-      node_used[static_cast<std::size_t>(g.edge(e).v)] = 1;
+      node_used[static_cast<std::size_t>(g.edge_u(e))] = 1;
+      node_used[static_cast<std::size_t>(g.edge_v(e))] = 1;
     }
     for (const auto& [a, b] : pairs) {
       node_used[static_cast<std::size_t>(a)] = 1;

@@ -7,29 +7,30 @@
 #include "disruption/disruption.hpp"
 #include "graph/traversal.hpp"
 #include "scenario/scenario.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/rng.hpp"
 
 namespace netrec {
 namespace {
 
 TEST(BellCanada, HasPaperDimensionsAndCapacities) {
-  const graph::Graph g = topology::bell_canada_like();
+  const graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   EXPECT_EQ(g.num_nodes(), 48u);
   EXPECT_EQ(g.num_edges(), 64u);
   std::set<double> capacities;
-  for (const auto& e : g.edges()) capacities.insert(e.capacity);
+  for (double cap : g.edge_capacities()) capacities.insert(cap);
   EXPECT_EQ(capacities, (std::set<double>{20.0, 30.0, 50.0}));
-  for (const auto& n : g.nodes()) {
-    EXPECT_DOUBLE_EQ(n.repair_cost, 1.0);
-    EXPECT_FALSE(n.name.empty());
-    EXPECT_NE(n.x, 0.0);  // has coordinates
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto id = static_cast<graph::NodeId>(i);
+    EXPECT_DOUBLE_EQ(g.node_repair_cost(id), 1.0);
+    EXPECT_FALSE(g.node_name(id).empty());
+    EXPECT_NE(g.node_x(id), 0.0);  // has coordinates
   }
   EXPECT_EQ(graph::connected_components(g).back(), 0);  // single component
 }
 
 TEST(BellCanada, DiameterSupportsFarApartDemands) {
-  const graph::Graph g = topology::bell_canada_like();
+  const graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   const int diameter = graph::hop_diameter(g);
   EXPECT_GE(diameter, 8);   // far-apart pairs need room
   EXPECT_LE(diameter, 20);  // ...but stay a realistic ISP backbone
@@ -40,10 +41,10 @@ TEST(ErdosRenyi, EdgeCountMatchesProbability) {
   topology::ErdosRenyiOptions opts;
   opts.nodes = 100;
   opts.edge_probability = 0.3;
-  const graph::Graph g = topology::erdos_renyi(opts, rng);
+  const graph::Graph g = topology::make_topology(opts, rng);
   const double expected = 0.3 * (100.0 * 99.0 / 2.0);
   EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
-  for (const auto& e : g.edges()) EXPECT_DOUBLE_EQ(e.capacity, 1000.0);
+  for (double cap : g.edge_capacities()) EXPECT_DOUBLE_EQ(cap, 1000.0);
 }
 
 TEST(ErdosRenyi, FullProbabilityIsClique) {
@@ -51,14 +52,14 @@ TEST(ErdosRenyi, FullProbabilityIsClique) {
   topology::ErdosRenyiOptions opts;
   opts.nodes = 12;
   opts.edge_probability = 1.0;
-  const graph::Graph g = topology::erdos_renyi(opts, rng);
+  const graph::Graph g = topology::make_topology(opts, rng);
   EXPECT_EQ(g.num_edges(), 12u * 11u / 2u);
 }
 
 TEST(CaidaLike, ExactSizeConnectedHeavyTail) {
   util::Rng rng(7);
   topology::CaidaLikeOptions opts;  // defaults: 825 / 1018
-  const graph::Graph g = topology::caida_like(opts, rng);
+  const graph::Graph g = topology::make_topology(opts, rng);
   EXPECT_EQ(g.num_nodes(), 825u);
   EXPECT_EQ(g.num_edges(), 1018u);
   // Connected (growth model guarantees it).
@@ -72,7 +73,7 @@ TEST(CaidaLike, ExactSizeConnectedHeavyTail) {
 }
 
 TEST(Disruption, CompleteDestructionBreaksAll) {
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   disruption::complete_destruction(g);
   EXPECT_EQ(g.num_broken_nodes(), g.num_nodes());
   EXPECT_EQ(g.num_broken_edges(), g.num_edges());
@@ -84,7 +85,7 @@ TEST(Disruption, GaussianGrowsWithVariance) {
   for (double variance : {10.0, 50.0, 150.0}) {
     util::RunningStats broken;
     for (int trial = 0; trial < 10; ++trial) {
-      graph::Graph g = topology::bell_canada_like();
+      graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
       disruption::GaussianDisasterOptions opts;
       opts.variance = variance;
       const auto report = disruption::gaussian_disaster(g, opts, rng);
@@ -95,7 +96,7 @@ TEST(Disruption, GaussianGrowsWithVariance) {
     previous = broken.mean();
   }
   // Top of the sweep: near-complete destruction (paper Sec. VII-A3).
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   disruption::GaussianDisasterOptions opts;
   opts.variance = 150.0;
   disruption::gaussian_disaster(g, opts, rng);
@@ -109,14 +110,14 @@ TEST(Disruption, CircularBreaksInsideOnly) {
   g.add_edge(0, 1, 1.0);
   const auto report = disruption::circular_disaster(g, 0.0, 0.0, 2.0);
   EXPECT_EQ(report.broken_nodes, 1u);
-  EXPECT_TRUE(g.node(0).broken);
-  EXPECT_FALSE(g.node(1).broken);
+  EXPECT_TRUE(g.node_broken(0));
+  EXPECT_FALSE(g.node_broken(1));
   EXPECT_EQ(report.broken_edges, 0u);  // midpoint at distance 5
 }
 
 TEST(Disruption, RandomFailuresRespectProbabilityExtremes) {
   util::Rng rng(5);
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   disruption::random_failures(g, 0.0, 0.0, rng);
   EXPECT_EQ(g.num_broken_nodes(), 0u);
   disruption::random_failures(g, 1.0, 1.0, rng);
@@ -130,7 +131,7 @@ TEST(Aftershock, FiresExactlyMaxShocksThenExhausts) {
   opts.decay = 0.5;
   opts.max_shocks = 3;
   disruption::AftershockProcess process(opts);
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   std::size_t fired = 0;
   while (!process.exhausted()) {
     process.next(g, rng);
@@ -154,7 +155,7 @@ TEST(Aftershock, MagnitudeDecaysAndFloorsOut) {
   opts.min_variance = 1.0;
   disruption::AftershockProcess process(opts);
   util::Rng rng(7);
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   double previous = 1e18;
   while (!process.exhausted()) {
     const double variance = process.current_variance();
@@ -168,10 +169,10 @@ TEST(Aftershock, MagnitudeDecaysAndFloorsOut) {
 
 TEST(Aftershock, OnlyBreaksNeverRepairs) {
   util::Rng rng(13);
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   // Pre-break a marked subset; aftershocks must never clear those flags.
-  g.node(0).broken = true;
-  g.edge(0).broken = true;
+  g.set_node_broken(0, true);
+  g.set_edge_broken(0, true);
   disruption::AftershockOptions opts;
   opts.first.variance = 80.0;
   opts.max_shocks = 4;
@@ -183,8 +184,8 @@ TEST(Aftershock, OnlyBreaksNeverRepairs) {
     EXPECT_GE(now, previous);
     previous = now;
   }
-  EXPECT_TRUE(g.node(0).broken);
-  EXPECT_TRUE(g.edge(0).broken);
+  EXPECT_TRUE(g.node_broken(0));
+  EXPECT_TRUE(g.edge_broken(0));
 }
 
 TEST(Cascade, ReRoutedOverloadBreaksTheDetour) {
@@ -207,12 +208,12 @@ TEST(Cascade, ReRoutedOverloadBreaksTheDetour) {
   // overload, nothing breaks.
   EXPECT_EQ(model.advance(g, demands).total(), 0u);
 
-  g.edge(sa).broken = true;
+  g.set_edge_broken(sa, true);
   const auto report = model.advance(g, demands);
   EXPECT_EQ(report.broken_edges, 2u);
-  EXPECT_TRUE(g.edge(sb).broken);
-  EXPECT_TRUE(g.edge(bt).broken);
-  EXPECT_FALSE(g.edge(at).broken);  // unreachable now, but not overloaded
+  EXPECT_TRUE(g.edge_broken(sb));
+  EXPECT_TRUE(g.edge_broken(bt));
+  EXPECT_FALSE(g.edge_broken(at));  // unreachable now, but not overloaded
 }
 
 TEST(Cascade, DisconnectedDemandContributesNoLoad) {
@@ -223,11 +224,11 @@ TEST(Cascade, DisconnectedDemandContributesNoLoad) {
   const auto v = g.add_node("v");
   g.add_edge(s, t, 1.0);
   const auto uv = g.add_edge(u, v, 0.5);
-  g.edge(0).broken = true;  // s-t cut off entirely
+  g.set_edge_broken(0, true);  // s-t cut off entirely
   disruption::CascadeModel model;
   const std::vector<mcf::Demand> demands{{s, t, 10.0}};
   EXPECT_EQ(model.advance(g, demands).total(), 0u);
-  EXPECT_FALSE(g.edge(uv).broken);
+  EXPECT_FALSE(g.edge_broken(uv));
 }
 
 TEST(Cascade, OverloadFactorGatesTheBreak) {
@@ -242,18 +243,18 @@ TEST(Cascade, OverloadFactorGatesTheBreak) {
     opts.overload_factor = 1.5;
     disruption::CascadeModel model(opts);
     EXPECT_EQ(model.advance(g, demands).total(), 0u);
-    EXPECT_FALSE(g.edge(e).broken);
+    EXPECT_FALSE(g.edge_broken(e));
   }
   {
     // Factor 1.0: 5 > 4 — breaks.
     disruption::CascadeModel model;
     EXPECT_EQ(model.advance(g, demands).broken_edges, 1u);
-    EXPECT_TRUE(g.edge(e).broken);
+    EXPECT_TRUE(g.edge_broken(e));
   }
 }
 
 TEST(Scenario, FarApartDemandsRespectDistance) {
-  const graph::Graph g = topology::bell_canada_like();
+  const graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng rng(23);
   const auto demands = scenario::far_apart_demands(g, 4, 10.0, rng);
   ASSERT_EQ(demands.size(), 4u);
@@ -275,7 +276,7 @@ TEST(Scenario, FarApartDemandsRespectDistance) {
 }
 
 TEST(Scenario, DemandsAreDeterministicPerSeed) {
-  const graph::Graph g = topology::bell_canada_like();
+  const graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   util::Rng a(99);
   util::Rng b(99);
   const auto da = scenario::far_apart_demands(g, 3, 5.0, a);
@@ -293,7 +294,7 @@ TEST(Scenario, RunnerAggregatesAcrossRuns) {
   const auto result = scenario::run_experiment(
       [](util::Rng& rng) {
         core::RecoveryProblem p;
-        p.graph = topology::bell_canada_like();
+        p.graph = topology::make_topology({topology::BellCanadaOptions{}});
         util::Rng local = rng.fork();
         p.demands = scenario::far_apart_demands(p.graph, 2, 10.0, local);
         disruption::complete_destruction(p.graph);

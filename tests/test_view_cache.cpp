@@ -14,7 +14,7 @@
 #include "core/repair_state.hpp"
 #include "graph/view.hpp"
 #include "graph/view_cache.hpp"
-#include "topology/topologies.hpp"
+#include "topology/generator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -28,12 +28,12 @@ graph::Graph broken_er(std::uint64_t seed, std::size_t nodes = 30,
   options.nodes = nodes;
   options.edge_probability = p;
   options.capacity = 8.0;
-  graph::Graph g = topology::erdos_renyi(options, rng);
+  graph::Graph g = topology::make_topology(options, rng);
   for (std::size_t n = 0; n < g.num_nodes(); ++n) {
-    if (rng.chance(0.2)) g.node(static_cast<graph::NodeId>(n)).broken = true;
+    if (rng.chance(0.2)) g.set_node_broken(static_cast<graph::NodeId>(n), true);
   }
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    if (rng.chance(0.3)) g.edge(static_cast<graph::EdgeId>(e)).broken = true;
+    if (rng.chance(0.3)) g.set_edge_broken(static_cast<graph::EdgeId>(e), true);
   }
   return g;
 }
@@ -76,16 +76,16 @@ struct MutableState {
   explicit MutableState(const graph::Graph& graph)
       : g(graph), repairs(graph), residual(graph.num_edges()) {
     for (std::size_t e = 0; e < g.num_edges(); ++e) {
-      residual[e] = g.edge(static_cast<graph::EdgeId>(e)).capacity;
+      residual[e] = g.edge_capacity(static_cast<graph::EdgeId>(e));
     }
   }
 
   double metric(graph::EdgeId e) const {
-    const graph::Edge& edge = g.edge(e);
+    const auto [eu, ev] = g.edge_endpoints(e);
     double k = 1.0;
-    if (edge.broken && !repairs.edge_repaired(e)) k += edge.repair_cost;
-    if (g.node(edge.u).broken && !repairs.node_repaired(edge.u)) k += 0.5;
-    if (g.node(edge.v).broken && !repairs.node_repaired(edge.v)) k += 0.5;
+    if (g.edge_broken(e) && !repairs.edge_repaired(e)) k += g.edge_repair_cost(e);
+    if (g.node_broken(eu) && !repairs.node_repaired(eu)) k += 0.5;
+    if (g.node_broken(ev) && !repairs.node_repaired(ev)) k += 0.5;
     return k / std::max(residual[static_cast<std::size_t>(e)], 1e-6);
   }
 
@@ -163,7 +163,7 @@ TEST(ViewCache, RandomInterleavingsMatchFreshBuilds) {
 }
 
 TEST(ViewCache, BellCanadaRepairSweepMatchesFreshBuilds) {
-  graph::Graph g = topology::bell_canada_like();
+  graph::Graph g = topology::make_topology({topology::BellCanadaOptions{}});
   g.break_everything();
   MutableState state(g);
   auto slot_configs = configs(state);
@@ -236,7 +236,7 @@ TEST(ViewCache, ResidualOnlyUpdatesRefreshNotRebuild) {
   graph::EdgeId broken = graph::kInvalidEdge;
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
     const auto id = static_cast<graph::EdgeId>(e);
-    if (g.edge(id).broken) {
+    if (g.edge_broken(id)) {
       broken = id;
       break;
     }
