@@ -30,6 +30,11 @@ int run(int argc, char** argv) {
   flags.define("threads", "1",
                "worker threads (default 1: concurrent solves would inflate "
                "the Fig 7a time series)");
+  flags.define("solve-threads", "1",
+               "intra-solve worker threads for ISP (parallel pricing, "
+               "batched SSP trees); any value reproduces the serial repair "
+               "series byte-for-byte — the CI determinism smoke diffs the "
+               "CSVs at 1 vs 4 (0 = NETREC_THREADS or hardware concurrency)");
   flags.define("nodes", "100", "Erdos-Renyi node count");
   flags.define("probabilities", "0.1,0.3,0.5,0.7,0.9,1.0",
                "edge probabilities swept");
@@ -40,11 +45,16 @@ int run(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes"));
   const auto pairs = static_cast<std::size_t>(flags.get_int("pairs"));
   const double capacity = flags.get_double("capacity");
+  const auto solve_threads =
+      static_cast<std::size_t>(flags.get_int("solve-threads"));
 
   scenario::SweepRunner sweep("fig7", "p", bench::runner_options(flags));
   sweep.add_algorithm(
-      "ISP", [](const core::RecoveryProblem& p, scenario::RunContext&) {
-        return core::IspSolver(p).solve();
+      "ISP",
+      [solve_threads](const core::RecoveryProblem& p, scenario::RunContext&) {
+        core::IspOptions options;
+        options.solve_threads = solve_threads;
+        return core::IspSolver(p, options).solve();
       });
   sweep.add_algorithm(
       "SRT", [](const core::RecoveryProblem& p, scenario::RunContext&) {

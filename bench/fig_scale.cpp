@@ -35,6 +35,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,7 @@
 #include "util/flags.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -96,6 +98,7 @@ struct Point {
   double plan_stage_seconds = 0.0;
   double plan_flow_total = 0.0;
   std::size_t plan_paths_found = 0;
+  std::size_t plan_threads = 1;  ///< workers the planning stage fanned onto
   double peak_rss = 0.0;
 
   double load_speedup() const {
@@ -107,7 +110,7 @@ struct Point {
 
 Point run_point(std::size_t nodes, double edge_factor, std::uint64_t seed,
                 std::size_t demands, double break_fraction,
-                std::size_t gml_max_nodes,
+                std::size_t gml_max_nodes, std::size_t plan_threads,
                 const std::filesystem::path& workdir) {
   Point point;
   point.nodes = nodes;
@@ -186,10 +189,30 @@ Point run_point(std::size_t nodes, double edge_factor, std::uint64_t seed,
 
   timer.reset();
   graph::GraphView full = graph::GraphView::build(loaded, {});
-  for (const auto& [s, t] : pairs) {
-    point.plan_flow_total += graph::max_flow(working, s, t).value;
+  // Each demand's max-flow + repair Dijkstra only reads the two immutable
+  // views, so the pairs fan out onto the pool into per-demand slots and the
+  // totals reduce serially in demand order — the sums (and therefore the
+  // JSON) are identical at any --plan-threads value.
+  std::optional<util::ThreadPool> pool_storage;
+  util::ThreadPool* pool =
+      util::ThreadPool::acquire(pool_storage, plan_threads, nullptr);
+  point.plan_threads = pool != nullptr ? pool->size() : 1;
+  std::vector<double> flows(pairs.size(), 0.0);
+  std::vector<char> path_found(pairs.size(), 0);
+  const auto plan_one = [&](std::size_t i) {
+    const auto [s, t] = pairs[i];
+    flows[i] = graph::max_flow(working, s, t).value;
     const auto tree = graph::dijkstra(full, s);
-    if (tree.path_to(loaded, t)) ++point.plan_paths_found;
+    path_found[i] = tree.path_to(loaded, t) ? 1 : 0;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(pairs.size(), plan_one);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) plan_one(i);
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    point.plan_flow_total += flows[i];
+    if (path_found[i] != 0) ++point.plan_paths_found;
   }
   point.plan_stage_seconds = timer.elapsed_seconds();
 
@@ -215,6 +238,7 @@ util::Json to_json(const Point& p) {
   row.set("plan_stage_seconds", p.plan_stage_seconds);
   row.set("plan_flow_total", p.plan_flow_total);
   row.set("plan_paths_found", p.plan_paths_found);
+  row.set("plan_threads", p.plan_threads);
   row.set("peak_rss_mb", p.peak_rss);
   return row;
 }
@@ -232,6 +256,9 @@ int main(int argc, char** argv) {
                "fraction of edges broken before planning");
   flags.define("gml-max-nodes", "100000",
                "skip the GML comparison above this node count");
+  flags.define("plan-threads", "0",
+               "planning-stage worker threads; totals are identical at any "
+               "value (0 = NETREC_THREADS or hardware concurrency)");
   flags.define("workdir", "", "temp-file directory (default: system tmp)");
   flags.define("json", "", "write the sweep as JSON to this path");
   flags.define("require-speedup", "0.0",
@@ -250,6 +277,8 @@ int main(int argc, char** argv) {
     const double break_fraction = flags.get_double("break-fraction");
     const auto gml_max_nodes =
         static_cast<std::size_t>(flags.get_int("gml-max-nodes"));
+    const auto plan_threads =
+        static_cast<std::size_t>(flags.get_int("plan-threads"));
     const double require_speedup = flags.get_double("require-speedup");
     const std::filesystem::path workdir =
         flags.get("workdir").empty()
@@ -264,7 +293,7 @@ int main(int argc, char** argv) {
     std::vector<Point> points;
     for (const std::size_t nodes : nodes_list) {
       Point p = run_point(nodes, edge_factor, seed, demands, break_fraction,
-                          gml_max_nodes, workdir);
+                          gml_max_nodes, plan_threads, workdir);
       std::printf(
           "%10zu %10zu %9.3f %9.3f %9.3f %9s %9s %9.3f %9.3f %9.1f\n",
           p.nodes, p.edges, p.build_seconds, p.ntb_save_seconds,

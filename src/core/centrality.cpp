@@ -7,6 +7,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/simple_paths.hpp"
 #include "graph/view.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netrec::core {
 
@@ -61,43 +62,70 @@ CentralityResult demand_based_centrality(
     const CentralityOptions& options) {
   const graph::Graph& g = view.graph();
   CentralityResult result(g.num_nodes(), demands.size());
+  util::ThreadPool* pool =
+      options.pool != nullptr && options.pool->size() > 1 ? options.pool
+                                                          : nullptr;
 
   // Fast path bookkeeping: one shared first-path tree per source that two
   // or more demands start from (their first Dijkstras see identical
-  // inputs), built lazily.
+  // inputs).  Each tree is a pure function of (view, source), so the set is
+  // built up front — in first-appearance order, fanning out on the pool
+  // when one is available — before the demand sweep reads it.
   std::unordered_map<graph::NodeId, graph::ShortestPathTree> source_trees;
-  std::unordered_map<graph::NodeId, int> source_count;
   if (options.share_source_trees) {
+    std::unordered_map<graph::NodeId, int> source_count;
+    std::vector<graph::NodeId> shared_sources;
     for (const mcf::Demand& d : demands) {
       if (d.amount <= 1e-9 || d.source == d.target) continue;
-      ++source_count[d.source];
+      if (++source_count[d.source] == 2) shared_sources.push_back(d.source);
+    }
+    std::vector<graph::ShortestPathTree> trees(shared_sources.size());
+    const auto build_tree = [&](std::size_t i) {
+      trees[i] = graph::dijkstra_residual(view, shared_sources[i],
+                                          view.edge_capacities());
+    };
+    if (pool != nullptr && shared_sources.size() > 1) {
+      pool->parallel_for(shared_sources.size(), build_tree);
+    } else {
+      for (std::size_t i = 0; i < shared_sources.size(); ++i) build_tree(i);
+    }
+    for (std::size_t i = 0; i < shared_sources.size(); ++i) {
+      source_trees.emplace(shared_sources[i], std::move(trees[i]));
     }
   }
 
-  for (std::size_t h = 0; h < demands.size(); ++h) {
+  // Per-demand P̂* enumeration into pre-assigned slots: each demand's
+  // successive-shortest-path sweep reads only the view and the (now
+  // immutable) shared trees, so the slots are independent and the fan-out
+  // changes nothing about any slot's content.
+  std::vector<graph::SuccessivePathsResult> selected(demands.size());
+  const auto enumerate = [&](std::size_t h) {
     const mcf::Demand& d = demands[h];
-    if (d.amount <= 1e-9 || d.source == d.target) continue;
-    graph::SuccessivePathsResult sp;
+    if (d.amount <= 1e-9 || d.source == d.target) return;
     if (options.share_source_trees) {
       const graph::ShortestPathTree* tree = nullptr;
-      if (source_count[d.source] > 1) {
-        auto it = source_trees.find(d.source);
-        if (it == source_trees.end()) {
-          it = source_trees
-                   .emplace(d.source,
-                            graph::dijkstra_residual(view, d.source,
-                                                     view.edge_capacities()))
-                   .first;
-        }
-        tree = &it->second;
-      }
-      sp = graph::successive_shortest_paths_to(
+      auto it = source_trees.find(d.source);
+      if (it != source_trees.end()) tree = &it->second;
+      selected[h] = graph::successive_shortest_paths_to(
           view, d.source, d.target, d.amount, options.max_paths_per_demand,
           tree);
     } else {
-      sp = graph::successive_shortest_paths(
+      selected[h] = graph::successive_shortest_paths(
           view, d.source, d.target, d.amount, options.max_paths_per_demand);
     }
+  };
+  if (pool != nullptr && demands.size() > 1) {
+    pool->parallel_for(demands.size(), enumerate);
+  } else {
+    for (std::size_t h = 0; h < demands.size(); ++h) enumerate(h);
+  }
+
+  // Serial merge in demand order: the eq.-(3) score additions happen in
+  // exactly the order the all-serial evaluation performs them.
+  for (std::size_t h = 0; h < demands.size(); ++h) {
+    const mcf::Demand& d = demands[h];
+    if (d.amount <= 1e-9 || d.source == d.target) continue;
+    graph::SuccessivePathsResult& sp = selected[h];
     if (sp.paths.empty() || sp.total_capacity <= 1e-12) continue;
 
     DemandPathSet& set =

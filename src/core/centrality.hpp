@@ -16,6 +16,10 @@
 #include "graph/view.hpp"
 #include "mcf/types.hpp"
 
+namespace netrec::util {
+class ThreadPool;
+}  // namespace netrec::util
+
 namespace netrec::core {
 
 struct CentralityOptions {
@@ -32,6 +36,14 @@ struct CentralityOptions {
   /// engine; off by default so the reference path stays byte-for-byte the
   /// historical computation.
   bool share_source_trees = false;
+  /// Intra-evaluation parallelism: the per-demand successive-shortest-path
+  /// enumerations (and, with share_source_trees, the shared first-path
+  /// trees) are pure functions of (view, demand), so they fan out on this
+  /// pool into per-demand slots; the eq.-(3) score accumulation then runs
+  /// serially in demand order.  Fixed merge order means the result is
+  /// bit-identical to the serial evaluation at any thread count.  nullptr
+  /// (the default) keeps the whole evaluation on the calling thread.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct DemandPathSet {

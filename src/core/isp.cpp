@@ -31,6 +31,7 @@
 #include "mcf/split.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace netrec::core {
@@ -135,6 +136,12 @@ class Engine {
         slot_usable_ = cache_->add_config("usable", std::move(usable_config));
       }
       state_.publish_to(&*cache_);
+      // Intra-solve worker pool (kLegacy stays the all-serial reference).
+      // Borrowed or privately owned, every kernel below receives the same
+      // pool; results are thread-count-invariant by the kernels' fixed
+      // merge orders.
+      pool_ = util::ThreadPool::acquire(owned_pool_, opt_.solve_threads,
+                                        opt_.pool);
       if (opt_.lp_reuse == mcf::LpReuse::kSession) {
         // Persistent path-LP state for the per-iteration probes: the
         // routability test (kMaxRouted on the working view) and the split
@@ -143,6 +150,8 @@ class Engine {
         // invalidate columns and capacity rows.
         lp_working_.emplace(g_, mcf::PathLpMode::kMaxRouted, opt_.lp);
         lp_split_.emplace(g_, mcf::PathLpMode::kMaxSplit, opt_.lp);
+        lp_working_->set_thread_pool(pool_);
+        lp_split_->set_thread_pool(pool_);
         cache_->add_listener(&*lp_working_);
         cache_->add_listener(&*lp_split_);
       }
@@ -446,8 +455,13 @@ class Engine {
     // Session mode turns on the result-preserving centrality shortcuts
     // (shared source trees, target-stopped lookups); kNone keeps the
     // byte-for-byte historical computation as the differential reference.
-    const CentralityOptions copt{opt_.metric_const, opt_.centrality_max_paths,
-                                 lp_sessions()};
+    // The pool fans the per-demand enumerations out either way (fixed-order
+    // merge: bit-identical).
+    CentralityOptions copt;
+    copt.metric_const = opt_.metric_const;
+    copt.max_paths_per_demand = opt_.centrality_max_paths;
+    copt.share_source_trees = lp_sessions();
+    copt.pool = pool_;
     const auto centrality = NETREC_ISP_SELECT(
         demand_based_centrality(metric_view(), current_demands(), copt),
         demand_based_centrality(g_, current_demands(), dynamic_length(),
@@ -458,7 +472,7 @@ class Engine {
       // Ablation: classic betweenness ignores demands and capacities; the
       // demand path sets are still needed for split-candidate selection.
       ranking_score = NETREC_ISP_SELECT(
-          graph::betweenness_centrality(usable_view()),
+          graph::betweenness_centrality(usable_view(), pool_),
           graph::legacy::betweenness_centrality(g_, dynamic_length(),
                                                 full_filter()));
       ranking.resize(g_.num_nodes());
@@ -687,6 +701,7 @@ class Engine {
         // warm rounds within this one converging solve), not persistence.
         mcf::PathLpSession lp(g_, mcf::PathLpMode::kMinCost, opt_.lp);
         lp.set_min_cost_objective(pending_cost);
+        lp.set_thread_pool(pool_);
         return lp.solve(full_view(), current_demand_specs());
       }
       if (cached()) {
@@ -814,6 +829,12 @@ class Engine {
   graph::ViewCache::SlotId slot_full_ = 0;
   graph::ViewCache::SlotId slot_metric_ = 0;
   graph::ViewCache::SlotId slot_usable_ = 0;
+  /// Intra-solve worker pool: owned_pool_ engages only when the options
+  /// request threads without lending a pool; pool_ is null for the serial
+  /// reference.  Declared before the sessions that borrow it (reverse
+  /// destruction keeps the pool alive past its borrowers).
+  std::optional<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
   /// Engaged iff additionally opt_.lp_reuse == kSession: persistent path-LP
   /// masters, fed by the cache's mutation fan-out.  Declared after cache_
   /// (they are registered listeners; both die with the Engine, cache last).

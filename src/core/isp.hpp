@@ -77,6 +77,18 @@ struct IspOptions {
   /// Sessions need cached views, so the option only takes effect with
   /// backend == kViewCache (kLegacy always runs one-shot LPs).
   mcf::LpReuse lp_reuse = mcf::LpReuse::kSession;
+  /// Intra-solve parallelism: fans the hot kernels of ONE solve — Brandes
+  /// source passes, per-demand centrality path enumeration, per-binding LP
+  /// pricing Dijkstras — out on a thread pool.  Every parallel kernel
+  /// merges its per-task results serially in a fixed order, so the solve
+  /// is bit-identical to the serial one at any thread count.  `pool`
+  /// borrows a caller-owned pool (must outlive the solve; scenario runners
+  /// share one across solves); when null and solve_threads != 1 the solver
+  /// owns a private pool for the solve's duration (0 = auto: NETREC_THREADS
+  /// or hardware concurrency).  The default, solve_threads == 1 with no
+  /// pool, is the all-serial reference; kLegacy ignores both knobs.
+  util::ThreadPool* pool = nullptr;
+  std::size_t solve_threads = 1;
 };
 
 /// One algorithm action, for tracing/examples.

@@ -1,46 +1,61 @@
 #include "graph/betweenness.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <queue>
 #include <stack>
 
 #include "graph/heap.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netrec::graph {
 
-std::vector<double> betweenness_centrality(const GraphView& view) {
-  const std::size_t n = view.num_nodes();
-  std::vector<double> centrality(n, 0.0);
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+namespace {
 
-  // Brandes: one shortest-path DAG per source, accumulate dependencies.
-  // All per-source workspaces (heap included: a vector drained with
-  // std::push_heap/std::pop_heap pops in the same order as
-  // std::priority_queue) are hoisted out of the source loop so the |V|
-  // passes share their allocations.  Predecessor lists live in one flat
-  // array aligned with the CSR arcs: node v's slots start at arcs_begin(v)
-  // (a node gains at most one live predecessor per incident in-view arc),
-  // so no per-relaxation vector bookkeeping is needed.
-  std::vector<double> dist(n);
-  std::vector<double> sigma(n);  // number of shortest paths
-  std::vector<double> delta(n);  // dependency accumulator
-  std::vector<NodeId> pred_flat(view.num_arcs());
-  std::vector<ArcId> pred_count(n);
+/// Per-source Brandes state, reusable across passes.  One instance per
+/// concurrent pass; the serial kernel owns a single one.  All workspaces
+/// (heap included: a vector drained with std::push_heap/std::pop_heap pops
+/// in the same order as std::priority_queue) persist across run() calls so
+/// the |V| passes share their allocations.  Predecessor lists live in one
+/// flat array aligned with the CSR arcs: node v's slots start at
+/// arcs_begin(v) (a node gains at most one live predecessor per incident
+/// in-view arc), so no per-relaxation vector bookkeeping is needed.
+struct BrandesPass {
+  std::vector<double> dist;
+  std::vector<double> sigma;  // number of shortest paths
+  std::vector<double> delta;  // dependency accumulator
+  std::vector<NodeId> pred_flat;
+  std::vector<ArcId> pred_count;
   QuadHeap<std::pair<double, NodeId>> heap;
   std::vector<NodeId> order;  // nodes in non-decreasing distance
-  std::vector<char> settled(n);
+  std::vector<char> settled;
 
-  for (std::size_t s = 0; s < n; ++s) {
-    const auto source = static_cast<NodeId>(s);
-    if (!view.node_in_view(source)) continue;
+  void bind(const GraphView& view) {
+    const std::size_t n = view.num_nodes();
+    dist.resize(n);
+    sigma.resize(n);
+    delta.resize(n);
+    pred_flat.resize(view.num_arcs());
+    pred_count.resize(n);
+    settled.resize(n);
+  }
+
+  /// One shortest-path DAG + dependency accumulation from `source`.  After
+  /// the call, `order` lists the reached nodes and delta[w] is the final
+  /// dependency of every w in `order` (sources outside the view leave
+  /// `order` empty).
+  void run(const GraphView& view, NodeId source) {
+    order.clear();
+    if (!view.node_in_view(source)) return;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const auto s = static_cast<std::size_t>(source);
     std::fill(dist.begin(), dist.end(), kInf);
     std::fill(sigma.begin(), sigma.end(), 0.0);
     std::fill(delta.begin(), delta.end(), 0.0);
     std::fill(settled.begin(), settled.end(), 0);
     std::fill(pred_count.begin(), pred_count.end(), 0);
     heap.clear();
-    order.clear();
 
     dist[s] = 0.0;
     sigma[s] = 1.0;
@@ -85,12 +100,71 @@ std::vector<double> betweenness_centrality(const GraphView& view) {
         const auto vi = static_cast<std::size_t>(pred_flat[p]);
         delta[vi] += sigma[vi] / sigma_w * coefficient;
       }
-      if (w != source) centrality[wi] += delta[wi];
     }
   }
+
+  /// Adds this pass's dependencies into `centrality`.  Every node in
+  /// `order` is distinct, so the per-node addition order within one source
+  /// does not affect the floating-point result — only the source order
+  /// does, and callers merge in increasing source order.
+  void merge_into(NodeId source, std::vector<double>& centrality) const {
+    for (const NodeId w : order) {
+      if (w == source) continue;
+      centrality[static_cast<std::size_t>(w)] +=
+          delta[static_cast<std::size_t>(w)];
+    }
+  }
+};
+
+std::vector<double> brandes(const GraphView& view, util::ThreadPool* pool,
+                            std::size_t source_limit) {
+  const std::size_t n = view.num_nodes();
+  const std::size_t sources = source_limit == 0 ? n : std::min(source_limit, n);
+  std::vector<double> centrality(n, 0.0);
+
+  if (pool == nullptr || pool->size() <= 1 || sources <= 1) {
+    BrandesPass pass;
+    pass.bind(view);
+    for (std::size_t s = 0; s < sources; ++s) {
+      const auto source = static_cast<NodeId>(s);
+      pass.run(view, source);
+      pass.merge_into(source, centrality);
+    }
+  } else {
+    // Window the sources so per-pass buffers stay bounded: `slots` passes
+    // run concurrently, then the window merges serially in source order.
+    // The window size only trades memory against barrier frequency — the
+    // merge order, and with it every floating-point addition, is the same
+    // at any window size and any thread count.
+    const std::size_t slots = std::min(sources, 4 * pool->size());
+    std::vector<BrandesPass> passes(slots);
+    for (auto& pass : passes) pass.bind(view);
+    for (std::size_t window = 0; window < sources; window += slots) {
+      const std::size_t count = std::min(slots, sources - window);
+      pool->parallel_for(count, [&](std::size_t i) {
+        passes[i].run(view, static_cast<NodeId>(window + i));
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        passes[i].merge_into(static_cast<NodeId>(window + i), centrality);
+      }
+    }
+  }
+
   // Undirected graph: each pair counted from both endpoints.
   for (double& c : centrality) c /= 2.0;
   return centrality;
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const GraphView& view) {
+  return brandes(view, nullptr, 0);
+}
+
+std::vector<double> betweenness_centrality(const GraphView& view,
+                                           util::ThreadPool* pool,
+                                           std::size_t source_limit) {
+  return brandes(view, pool, source_limit);
 }
 
 std::vector<double> betweenness_centrality(const Graph& g,

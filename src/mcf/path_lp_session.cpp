@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/dijkstra.hpp"
 #include "graph/simple_paths.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netrec::mcf {
 
@@ -517,36 +519,60 @@ PathLpResult PathLpSession::run_master(const graph::GraphView& view,
       edge_weight[e] = std::max(w, 0.0);
     }
 
-    bool added_column = false;
-    auto price_binding = [&](int binding, graph::NodeId s, graph::NodeId t,
-                             double amount) {
-      if (s == t || amount <= kEps) return;
-      const double y_h =
-          lp_solution.duals[static_cast<std::size_t>(model_row(binding))];
-      const double threshold =
-          (mode_ == PathLpMode::kMaxRouted ? 1.0 + y_h : y_h) -
-          opt_.tolerance * 10.0;
-      if (threshold <= 0.0) return;  // no path can improve
-      auto tree =
-          graph::dijkstra_to(view, s, t, edge_weight, view.edge_capacities());
-      if (!tree.reached(t)) return;
-      if (tree.distance[static_cast<std::size_t>(t)] < threshold) {
-        auto path = tree.path_to(g_, t);
-        const int pi = pool_add(s, t, std::move(*path));
-        if (install_column(view, binding, pi) >= 0) added_column = true;
-      }
+    // The jobs are listed in the serial sweep's order (demand rows
+    // ascending, then the split half rows).  A binding's threshold and
+    // target-stopped Dijkstra read only this round's duals, the view and
+    // edge_weight — an install never feeds back into another binding's
+    // compute within one round — so the compute stage fans out on the
+    // pool and the install stage runs serially in job order, reproducing
+    // the serial sweep's pool indices and column order exactly.
+    struct PricingJob {
+      int binding;
+      graph::NodeId s;
+      graph::NodeId t;
+      double amount;
+      std::optional<graph::Path> path;
     };
+    std::vector<PricingJob> jobs;
     for (std::size_t i = 0; i < demand_rows_.size(); ++i) {
       const DemandRow& dr = demand_rows_[i];
       if (dr.spec_index < 0) continue;
-      price_binding(static_cast<int>(i), dr.demand.source, dr.demand.target,
-                    dr.demand.amount);
+      jobs.push_back({static_cast<int>(i), dr.demand.source, dr.demand.target,
+                      dr.demand.amount, std::nullopt});
     }
     if (mode_ == PathLpMode::kMaxSplit) {
       const Demand& sd =
           demand_rows_[static_cast<std::size_t>(split_row_index_)].demand;
-      price_binding(kHalfA, sd.source, half_via_, sd.amount);
-      price_binding(kHalfB, half_via_, sd.target, sd.amount);
+      jobs.push_back({kHalfA, sd.source, half_via_, sd.amount, std::nullopt});
+      jobs.push_back({kHalfB, half_via_, sd.target, sd.amount, std::nullopt});
+    }
+    const auto price_job = [&](std::size_t j) {
+      PricingJob& job = jobs[j];
+      if (job.s == job.t || job.amount <= kEps) return;
+      const double y_h =
+          lp_solution.duals[static_cast<std::size_t>(model_row(job.binding))];
+      const double threshold =
+          (mode_ == PathLpMode::kMaxRouted ? 1.0 + y_h : y_h) -
+          opt_.tolerance * 10.0;
+      if (threshold <= 0.0) return;  // no path can improve
+      auto tree = graph::dijkstra_to(view, job.s, job.t, edge_weight,
+                                     view.edge_capacities());
+      if (!tree.reached(job.t)) return;
+      if (tree.distance[static_cast<std::size_t>(job.t)] < threshold) {
+        job.path = std::move(*tree.path_to(g_, job.t));
+      }
+    };
+    if (thread_pool_ != nullptr && thread_pool_->size() > 1 &&
+        jobs.size() > 1) {
+      thread_pool_->parallel_for(jobs.size(), price_job);
+    } else {
+      for (std::size_t j = 0; j < jobs.size(); ++j) price_job(j);
+    }
+    bool added_column = false;
+    for (PricingJob& job : jobs) {
+      if (!job.path.has_value()) continue;
+      const int pi = pool_add(job.s, job.t, std::move(*job.path));
+      if (install_column(view, job.binding, pi) >= 0) added_column = true;
     }
     if (!added_column) {
       converged = true;

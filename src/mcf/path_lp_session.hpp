@@ -63,6 +63,10 @@
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 
+namespace netrec::util {
+class ThreadPool;
+}  // namespace netrec::util
+
 namespace netrec::mcf {
 
 /// How a solver loop reuses path-LP state across its iterations.
@@ -90,6 +94,19 @@ class PathLpSession : public graph::MutationListener {
 
   /// kMinCost objective callback; retained, must outlive the session.
   void set_min_cost_objective(graph::EdgeWeight edge_cost);
+
+  /// Intra-round pricing parallelism.  Within one pricing round every
+  /// binding's threshold and target-stopped Dijkstra read only that
+  /// round's duals, the borrowed view and the reduced-cost weights —
+  /// installing a column never changes another binding's compute — so the
+  /// per-binding shortest paths fan out on `pool` and the resulting
+  /// columns install serially in the serial sweep's binding order (demand
+  /// rows ascending, then the split half rows).  Same install order means
+  /// the same pool indices, master columns and simplex trajectory: results
+  /// are bit-identical to the serial session at any thread count.
+  /// nullptr (the default) restores the all-serial sweep; the pool must
+  /// outlive the session or a later set_thread_pool(nullptr).
+  void set_thread_pool(util::ThreadPool* pool) { thread_pool_ = pool; }
 
   /// Solves the session's master for the current demand set (kMaxRouted /
   /// kMinCost modes).  `view` must be freshly synced (ViewCache::view).
@@ -192,6 +209,7 @@ class PathLpSession : public graph::MutationListener {
   PathLpMode mode_;
   PathLpOptions opt_;
   graph::EdgeWeight objective_edge_cost_;
+  util::ThreadPool* thread_pool_ = nullptr;  ///< borrowed; see set_thread_pool
 
   bool initialized_ = false;
   bool eager_ = false;

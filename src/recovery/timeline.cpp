@@ -8,6 +8,7 @@
 #include "graph/view_cache.hpp"
 #include "mcf/routing.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace netrec::recovery {
@@ -53,8 +54,11 @@ class Runtime {
     // incident edges, and the flipped verdict escalates to a rebuild.
     operational.edge_ok = graph::working_edge_filter(g_);
     slot_ = cache_.add_config("operational", std::move(operational));
+    pool_ = util::ThreadPool::acquire(owned_pool_, opt_.solve_threads,
+                                      opt_.pool);
     if (opt_.lp_reuse == mcf::LpReuse::kSession) {
       session_.emplace(g_, mcf::PathLpMode::kMaxRouted, opt_.lp);
+      session_->set_thread_pool(pool_);
       cache_.add_listener(&*session_);
       specs_.reserve(live_.demands.size());
       // Demand amounts never change across stages, so the original index
@@ -152,6 +156,11 @@ class Runtime {
   const TimelineOptions& opt_;
   graph::ViewCache cache_;
   graph::ViewCache::SlotId slot_ = 0;
+  /// Intra-run pricing pool (see TimelineOptions); owned_pool_ engages only
+  /// when solve_threads requests workers without a lent pool.  Declared
+  /// before the session that borrows it.
+  std::optional<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
   /// Engaged iff lp_reuse == kSession; registered cache listener.  Declared
   /// after cache_ (both die with the Runtime, cache last).
   std::optional<mcf::PathLpSession> session_;

@@ -53,6 +53,10 @@
 #include "mcf/path_lp_session.hpp"
 #include "util/rng.hpp"
 
+namespace netrec::util {
+class ThreadPool;
+}  // namespace netrec::util
+
 namespace netrec::recovery {
 
 /// One crew intervention: repair a node or an edge.
@@ -114,6 +118,15 @@ struct TimelineOptions {
   /// the differential reference.
   mcf::LpReuse lp_reuse = mcf::LpReuse::kSession;
   mcf::PathLpOptions lp;
+  /// Intra-run parallelism for the measurement LP's pricing sweeps (and any
+  /// policy that routes its embedded core::IspOptions::pool here).  Fixed
+  /// install order keeps every restoration curve bit-identical to the
+  /// serial run at any thread count.  `pool` borrows a caller-owned pool
+  /// (must outlive the run); when null and solve_threads != 1 the engine
+  /// owns one per run (0 = auto: NETREC_THREADS or hardware concurrency).
+  /// Default: serial.
+  util::ThreadPool* pool = nullptr;
+  std::size_t solve_threads = 1;
 };
 
 /// What one stage did to the network.

@@ -138,8 +138,13 @@ AggregateResult run_experiment(
   util::ThreadPool* pool =
       util::ThreadPool::acquire(owned_pool, options.threads, options.pool);
   if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(options.runs, build);
-    pool->parallel_for(options.runs * num_algorithms, solve);
+    // Builds are cheap relative to solves: chunk them so a large sweep pays
+    // one dispatch per batch, not per run.  Solves stay grain 1 — each is a
+    // full algorithm run, so finer dispatch buys load balance.
+    const std::size_t build_grain =
+        std::max<std::size_t>(1, options.runs / (4 * pool->size()));
+    pool->parallel_for(options.runs, build_grain, build);
+    pool->parallel_for(options.runs * num_algorithms, 1, solve);
   } else {
     for (std::size_t run = 0; run < options.runs; ++run) build(run);
     for (std::size_t task = 0; task < options.runs * num_algorithms; ++task) {

@@ -1,5 +1,6 @@
 #include "scenario/timeline_runner.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 
@@ -85,8 +86,12 @@ TimelineAggregate run_timelines(
   util::ThreadPool* pool =
       util::ThreadPool::acquire(owned_pool, options.threads, options.pool);
   if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(options.runs, build);
-    pool->parallel_for(options.runs * num_cells, simulate);
+    // Builds chunk (cheap, many); simulations stay grain 1 (each is a full
+    // staged recovery, so finer dispatch buys load balance).
+    const std::size_t build_grain =
+        std::max<std::size_t>(1, options.runs / (4 * pool->size()));
+    pool->parallel_for(options.runs, build_grain, build);
+    pool->parallel_for(options.runs * num_cells, 1, simulate);
   } else {
     for (std::size_t run = 0; run < options.runs; ++run) build(run);
     for (std::size_t task = 0; task < options.runs * num_cells; ++task) {

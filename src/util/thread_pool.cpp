@@ -1,6 +1,6 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
@@ -54,30 +54,76 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, 1, fn);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = (n + grain - 1) / grain;
   // First exception wins; later ones are dropped (iterations still run).
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;
-  std::atomic<std::size_t> remaining{n};
+  // Completion state lives under one mutex: the finishing worker must still
+  // hold it when it observes zero, so the caller cannot wake, return and
+  // destroy these locals while the worker is mid-notify.
+  std::size_t remaining = chunks;
   std::mutex done_mutex;
   std::condition_variable done;
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([&, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done.notify_all();
-      }
-    });
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done.notify_all();
+    }
+  };
+  for (std::size_t c = 0; c < chunks; ++c) {
+    submit([&run_chunk, c] { run_chunk(c); });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done.wait(lock, [&] { return remaining.load() == 0; });
+  // Help drain the queue while waiting: nested parallel_for (a kernel
+  // inside a task running on this very pool) would otherwise block a worker
+  // forever; with help-draining the caller itself executes queued chunks —
+  // possibly unrelated ones, which is harmless — until its own are done.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      if (remaining == 0) break;
+    }
+    if (!try_run_one()) {
+      // Queue empty: every outstanding chunk of this call is running on
+      // some thread already, so there is nothing left to help with.
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done.wait(lock, [&] { return remaining == 0; });
+      break;
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+  return true;
 }
 
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {

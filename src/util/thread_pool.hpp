@@ -1,10 +1,13 @@
-// Fixed-size worker pool behind the parallel scenario engine.
+// Fixed-size worker pool behind the parallel scenario engine and the
+// intra-solve kernels (parallel Brandes, batched SSP trees, concurrent LP
+// pricing).
 //
-// The pool is a plain task queue (no work stealing: scenario tasks are
-// coarse — one (run, algorithm) solve each — so a single mutex-protected
-// queue never becomes the bottleneck).  Determinism is the caller's job:
-// tasks must write to pre-assigned slots and derive randomness from seeds
-// fixed before submission, never from execution order.
+// The pool is a plain task queue (no work stealing: tasks are coarse — one
+// (run, algorithm) solve, one Brandes source, one pricing Dijkstra — so a
+// single mutex-protected queue never becomes the bottleneck).  Determinism
+// is the caller's job: tasks must write to pre-assigned slots and derive
+// randomness from seeds fixed before submission, never from execution
+// order.
 #pragma once
 
 #include <condition_variable>
@@ -38,9 +41,21 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n).  Blocks until all iterations complete and
-  /// rethrows the first exception any iteration produced.  Safe to call from
-  /// one thread at a time; iterations may not submit to the same pool.
+  /// rethrows the first exception any iteration produced (every other
+  /// iteration still runs; later exceptions are dropped).  The caller
+  /// participates in draining the queue while it waits, so nesting — a
+  /// parallel kernel inside a task that itself runs on this pool — cannot
+  /// deadlock, and concurrent parallel_for calls from different threads are
+  /// safe.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked parallel_for: iterations are submitted in batches of `grain`,
+  /// so V-sized kernel loops pay one std::function dispatch per chunk
+  /// instead of per element.  Completion and rethrow semantics match the
+  /// per-element overload, except that an exception skips the remainder of
+  /// its own chunk (other chunks still run).  Grain 0 is treated as 1.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
 
   /// Thread count resolution used across the project: the explicit request
   /// if positive, else the NETREC_THREADS environment variable if set and
@@ -63,6 +78,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Pops and runs one queued task on the calling thread; false when the
+  /// queue was empty.  Lets parallel_for callers help drain while waiting.
+  bool try_run_one();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,469 @@
+// Thread-invariance differential suites for the intra-solve parallel
+// kernels: parallel Brandes betweenness, the batched per-demand centrality
+// enumeration, and the session's concurrent LP pricing — each pinned
+// bitwise against its serial twin at thread counts {1, 2, 4, 8}, plus a
+// Timeline-level end-to-end pin (the full restoration curve must not move
+// by a bit when the measurement LP prices in parallel).
+//
+// The determinism contract under test: every parallel kernel computes
+// per-task results into pre-assigned slots and merges them serially in a
+// fixed order, so the stream of floating-point operations that produces
+// the output is the serial kernel's stream — equality is exact, never
+// tolerance-based.
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/centrality.hpp"
+#include "core/isp.hpp"
+#include "core/problem.hpp"
+#include "disruption/disruption.hpp"
+#include "graph/betweenness.hpp"
+#include "graph/traversal.hpp"
+#include "graph/view.hpp"
+#include "recovery/dynamics.hpp"
+#include "recovery/policies.hpp"
+#include "recovery/timeline.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace netrec;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// Broken connected-ish ER instance with far-apart demands (the ISP
+/// differential harness's construction).
+core::RecoveryProblem er_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 104729 + 13);
+  core::RecoveryProblem p;
+  topology::ErdosRenyiOptions eopt;
+  eopt.nodes = 24;
+  eopt.edge_probability = 0.18;
+  eopt.capacity = 10.0;
+  std::size_t attempts = 0;
+  do {
+    p.graph = topology::make_topology(eopt, rng);
+  } while (graph::hop_diameter(p.graph) < 0 && ++attempts < 50);
+  util::Rng demand_rng = rng.fork();
+  p.demands = scenario::far_apart_demands(p.graph, 3, 4.0, demand_rng);
+  for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+    if (rng.chance(0.55)) {
+      p.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
+    }
+  }
+  for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
+    if (rng.chance(0.6)) {
+      p.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
+    }
+  }
+  return p;
+}
+
+/// Bell-Canada under regional or complete destruction.
+core::RecoveryProblem bell_canada_scenario(std::uint64_t seed) {
+  util::Rng rng(seed * 7907 + 5);
+  core::RecoveryProblem p;
+  p.graph = topology::make_topology({topology::BellCanadaOptions{}});
+  util::Rng demand_rng = rng.fork();
+  p.demands = scenario::far_apart_demands(p.graph, 4, 3.0, demand_rng);
+  if (seed % 2 == 0) {
+    disruption::complete_destruction(p.graph);
+  } else {
+    for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+      if (rng.chance(0.5)) {
+        p.graph.set_node_broken(static_cast<graph::NodeId>(n), true);
+      }
+    }
+    for (std::size_t e = 0; e < p.graph.num_edges(); ++e) {
+      if (rng.chance(0.5)) {
+        p.graph.set_edge_broken(static_cast<graph::EdgeId>(e), true);
+      }
+    }
+  }
+  return p;
+}
+
+// --- ThreadPool: chunked overload + nesting (satellite coverage) -----------
+
+TEST(ThreadPoolChunked, CoversEveryIndexOnceAtAnyGrain) {
+  util::ThreadPool pool(3);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{64},
+                                  std::size_t{1000}}) {
+    std::vector<int> hits(257, 0);
+    pool.parallel_for(hits.size(), grain,
+                      [&hits](std::size_t i) { hits[i] += 1; });
+    for (const int h : hits) ASSERT_EQ(h, 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolChunked, PropagatesExceptionsSkippingOnlyTheFailedChunkTail) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(100, 8,
+                                 [&completed](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // The throwing chunk covers [8, 16): 14 and 15 are skipped with 13,
+  // every other chunk still runs to completion.
+  EXPECT_EQ(completed.load(), 97);
+}
+
+TEST(ThreadPoolChunked, PerElementOverloadStillRethrows) {
+  util::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&completed](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPoolNesting, NestedParallelForDoesNotDeadlock) {
+  // A parallel kernel invoked from a task that itself runs on the pool —
+  // exactly what happens when a scenario-engine solve task reaches a
+  // parallel intra-solve kernel on a shared pool.  The caller help-drains
+  // the queue, so even a single-worker pool completes.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    util::ThreadPool pool(workers);
+    std::atomic<int> counter{0};
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(8, 3, [&](std::size_t) { counter.fetch_add(1); });
+    });
+    EXPECT_EQ(counter.load(), 32) << "workers " << workers;
+  }
+}
+
+// --- parallel Brandes betweenness ------------------------------------------
+
+/// A weighted, partially filtered view of the scenario graph with tie-rich
+/// lengths (quantised weights force many equal-length shortest paths, the
+/// hardest case for sigma/delta accumulation order).
+graph::GraphView weighted_view(const graph::Graph& g, std::uint64_t seed,
+                               std::vector<double>& lengths,
+                               std::vector<char>& node_in) {
+  util::Rng rng(seed * 48611 + 7);
+  lengths.resize(g.num_edges());
+  for (double& w : lengths) {
+    w = 0.5 * static_cast<double>(rng.uniform_int(1, 3));  // {0.5, 1, 1.5}
+  }
+  node_in.assign(g.num_nodes(), 1);
+  for (auto& keep : node_in) keep = rng.chance(0.9) ? 1 : 0;
+  graph::ViewConfig config;
+  config.length = [&lengths](graph::EdgeId e) {
+    return lengths[static_cast<std::size_t>(e)];
+  };
+  config.node_ok = [&node_in](graph::NodeId n) {
+    return node_in[static_cast<std::size_t>(n)] != 0;
+  };
+  return graph::GraphView::build(g, config);
+}
+
+void expect_betweenness_thread_invariant(const graph::Graph& g,
+                                         std::uint64_t seed,
+                                         const std::string& label) {
+  SCOPED_TRACE(label);
+  std::vector<double> lengths;
+  std::vector<char> node_in;
+  const graph::GraphView view = weighted_view(g, seed, lengths, node_in);
+  const std::vector<double> serial = graph::betweenness_centrality(view);
+  EXPECT_EQ(graph::betweenness_centrality(view, nullptr), serial);
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(graph::betweenness_centrality(view, &pool), serial)
+        << "threads " << threads;
+  }
+  // Pivot-style partial accumulation: the parallel merge of sources
+  // [0, limit) must equal the serial fold over the same prefix.
+  const std::size_t limit = g.num_nodes() / 2;
+  const std::vector<double> partial_serial =
+      graph::betweenness_centrality(view, nullptr, limit);
+  util::ThreadPool pool(4);
+  EXPECT_EQ(graph::betweenness_centrality(view, &pool, limit),
+            partial_serial);
+  EXPECT_EQ(graph::betweenness_centrality(view, &pool, g.num_nodes()),
+            serial);
+}
+
+class BetweennessThreadsEr : public ::testing::TestWithParam<int> {};
+
+TEST_P(BetweennessThreadsEr, BitIdenticalAtAnyThreadCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_betweenness_thread_invariant(er_scenario(seed).graph, seed,
+                                      "er seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetweennessThreadsEr, ::testing::Range(1, 9));
+
+class BetweennessThreadsBellCanada : public ::testing::TestWithParam<int> {};
+
+TEST_P(BetweennessThreadsBellCanada, BitIdenticalAtAnyThreadCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_betweenness_thread_invariant(
+      bell_canada_scenario(seed).graph, seed,
+      "bell-canada seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetweennessThreadsBellCanada,
+                         ::testing::Range(1, 6));
+
+// --- batched demand-based centrality ---------------------------------------
+
+void expect_centrality_thread_invariant(const core::RecoveryProblem& p,
+                                        bool share_source_trees,
+                                        const std::string& label) {
+  SCOPED_TRACE(label);
+  graph::ViewConfig config;
+  config.capacity = [&p](graph::EdgeId e) {
+    return p.graph.edge_capacity(e);
+  };
+  const graph::GraphView view = graph::GraphView::build(p.graph, config);
+  core::CentralityOptions copt;
+  copt.share_source_trees = share_source_trees;
+  const core::CentralityResult serial =
+      core::demand_based_centrality(view, p.demands, copt);
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    core::CentralityOptions pooled = copt;
+    pooled.pool = &pool;
+    const core::CentralityResult parallel =
+        core::demand_based_centrality(view, p.demands, pooled);
+    ASSERT_EQ(parallel.scores(), serial.scores()) << "threads " << threads;
+    for (std::size_t n = 0; n < p.graph.num_nodes(); ++n) {
+      const auto id = static_cast<graph::NodeId>(n);
+      ASSERT_EQ(parallel.contributors(id), serial.contributors(id))
+          << "threads " << threads << " node " << n;
+    }
+    for (std::size_t h = 0; h < p.demands.size(); ++h) {
+      const auto& a = parallel.demand_paths(static_cast<int>(h));
+      const auto& b = serial.demand_paths(static_cast<int>(h));
+      ASSERT_EQ(a.capacities, b.capacities) << "threads " << threads;
+      ASSERT_EQ(a.total_capacity, b.total_capacity) << "threads " << threads;
+      ASSERT_EQ(a.paths.size(), b.paths.size()) << "threads " << threads;
+      for (std::size_t k = 0; k < a.paths.size(); ++k) {
+        ASSERT_EQ(a.paths[k].edges, b.paths[k].edges)
+            << "threads " << threads << " demand " << h << " path " << k;
+      }
+    }
+  }
+}
+
+class CentralityThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(CentralityThreads, BitIdenticalAtAnyThreadCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const bool share : {false, true}) {
+    const std::string mode = share ? " shared-trees" : " plain";
+    expect_centrality_thread_invariant(
+        er_scenario(seed), share, "er seed " + std::to_string(seed) + mode);
+    expect_centrality_thread_invariant(
+        bell_canada_scenario(seed), share,
+        "bell-canada seed " + std::to_string(seed) + mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CentralityThreads, ::testing::Range(1, 5));
+
+// --- ISP end-to-end: concurrent LP pricing + all kernels combined ----------
+
+void expect_same_events(const std::vector<core::IspEvent>& parallel,
+                        const std::vector<core::IspEvent>& reference) {
+  ASSERT_EQ(parallel.size(), reference.size()) << "event counts diverge";
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].kind, reference[i].kind) << "event " << i;
+    EXPECT_EQ(parallel[i].demand, reference[i].demand) << "event " << i;
+    EXPECT_EQ(parallel[i].node, reference[i].node) << "event " << i;
+    EXPECT_EQ(parallel[i].edge, reference[i].edge) << "event " << i;
+    EXPECT_EQ(parallel[i].amount, reference[i].amount)
+        << "event " << i << " (" << parallel[i].to_string() << " vs "
+        << reference[i].to_string() << ")";
+  }
+}
+
+/// One serial reference solve, then one solve per thread count — repair
+/// sequences, event streams, counters and referee routing all exactly
+/// equal (the ISP differential harness's comparison).
+void expect_isp_thread_invariant(const core::RecoveryProblem& problem,
+                                 core::IspOptions options,
+                                 const std::string& label) {
+  SCOPED_TRACE(label);
+  core::IspSolver reference_solver(problem, options);
+  reference_solver.set_trace(true);
+  const core::RecoverySolution reference = reference_solver.solve();
+
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    core::IspOptions parallel_options = options;
+    parallel_options.pool = &pool;
+    core::IspSolver parallel_solver(problem, parallel_options);
+    parallel_solver.set_trace(true);
+    const core::RecoverySolution parallel = parallel_solver.solve();
+
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(parallel.repaired_nodes, reference.repaired_nodes);
+    EXPECT_EQ(parallel.repaired_edges, reference.repaired_edges);
+    EXPECT_EQ(parallel.repair_cost, reference.repair_cost);
+    EXPECT_EQ(parallel.satisfied_fraction, reference.satisfied_fraction);
+    EXPECT_EQ(parallel.instance_feasible, reference.instance_feasible);
+    EXPECT_EQ(parallel.iterations, reference.iterations);
+    EXPECT_EQ(parallel.routing.total_routed, reference.routing.total_routed);
+    EXPECT_EQ(parallel.routing.routed, reference.routing.routed);
+    EXPECT_EQ(parallel_solver.stats().prunes, reference_solver.stats().prunes);
+    EXPECT_EQ(parallel_solver.stats().splits, reference_solver.stats().splits);
+    EXPECT_EQ(parallel_solver.stats().direct_edge_repairs,
+              reference_solver.stats().direct_edge_repairs);
+    EXPECT_EQ(parallel_solver.stats().watchdog_activations,
+              reference_solver.stats().watchdog_activations);
+    expect_same_events(parallel_solver.stats().events,
+                       reference_solver.stats().events);
+  }
+}
+
+class IspThreadsEr : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspThreadsEr, SolveBitIdenticalAtAnyThreadCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_isp_thread_invariant(er_scenario(seed), core::IspOptions{},
+                              "er seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspThreadsEr, ::testing::Range(1, 9));
+
+class IspThreadsBellCanada : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspThreadsBellCanada, SolveBitIdenticalAtAnyThreadCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  expect_isp_thread_invariant(bell_canada_scenario(seed), core::IspOptions{},
+                              "bell-canada seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspThreadsBellCanada, ::testing::Range(1, 6));
+
+TEST(IspThreadsOptions, VariantEnginePathsStayThreadInvariant) {
+  // The kernels sit behind different engine paths depending on options:
+  // classic betweenness exercises the parallel Brandes ranking, kNone
+  // reuse the one-shot LP path (centrality still pools), empty seed pools
+  // force pricing to derive every column.  Each must be thread-invariant.
+  {
+    core::IspOptions o;
+    o.use_classic_betweenness = true;
+    expect_isp_thread_invariant(er_scenario(301), o, "classic-betweenness");
+  }
+  {
+    core::IspOptions o;
+    o.lp_reuse = mcf::LpReuse::kNone;
+    expect_isp_thread_invariant(er_scenario(302), o, "lp-reuse-none");
+  }
+  {
+    core::IspOptions o;
+    o.lp.seed_paths_per_demand = 0;
+    expect_isp_thread_invariant(bell_canada_scenario(303), o, "lp-no-seeds");
+  }
+  {
+    core::IspOptions o;
+    o.lp.eager_capacity_threshold = 0;
+    expect_isp_thread_invariant(bell_canada_scenario(304), o, "lp-lazy-rows");
+  }
+}
+
+TEST(IspThreads, OwnedPoolMatchesBorrowedPool) {
+  // solve_threads spawns a private pool; the result must match both the
+  // serial reference and a caller-lent pool of the same width.
+  const core::RecoveryProblem problem = er_scenario(305);
+  core::IspSolver serial(problem, core::IspOptions{});
+  const core::RecoverySolution ref = serial.solve();
+
+  core::IspOptions owned;
+  owned.solve_threads = 4;
+  core::IspSolver owned_solver(problem, owned);
+  const core::RecoverySolution via_owned = owned_solver.solve();
+  EXPECT_EQ(via_owned.repaired_nodes, ref.repaired_nodes);
+  EXPECT_EQ(via_owned.repaired_edges, ref.repaired_edges);
+  EXPECT_EQ(via_owned.satisfied_fraction, ref.satisfied_fraction);
+  EXPECT_EQ(via_owned.repair_cost, ref.repair_cost);
+}
+
+// --- Timeline end-to-end: restoration curve at any thread count ------------
+
+recovery::TimelineResult run_timeline(const core::RecoveryProblem& problem,
+                                      std::size_t threads,
+                                      util::ThreadPool* pool) {
+  recovery::ReplanOptions ropt;
+  ropt.isp.pool = pool;  // policy re-plans with parallel kernels too
+  recovery::ReplanPolicy policy(ropt);
+  disruption::AftershockOptions aopt;
+  aopt.first.variance = 40.0;
+  aopt.decay = 0.5;
+  aopt.max_shocks = 3;
+  recovery::AftershockDynamics dynamics(aopt);
+  recovery::TimelineOptions topt;
+  topt.max_stages = 12;
+  topt.stage_budget = 2;
+  topt.pool = pool;
+  (void)threads;
+  util::Rng rng(7);
+  return recovery::Timeline(problem, policy, dynamics, topt).run(rng);
+}
+
+void expect_same_timeline(const recovery::TimelineResult& parallel,
+                          const recovery::TimelineResult& reference) {
+  EXPECT_EQ(parallel.initial_routed, reference.initial_routed);
+  EXPECT_EQ(parallel.final_routed, reference.final_routed);
+  EXPECT_EQ(parallel.total_repairs, reference.total_repairs);
+  EXPECT_EQ(parallel.total_repair_cost, reference.total_repair_cost);
+  EXPECT_EQ(parallel.shock_breaks, reference.shock_breaks);
+  ASSERT_EQ(parallel.stages.size(), reference.stages.size());
+  for (std::size_t s = 0; s < parallel.stages.size(); ++s) {
+    const auto& a = parallel.stages[s];
+    const auto& b = reference.stages[s];
+    SCOPED_TRACE("stage " + std::to_string(s));
+    EXPECT_EQ(a.routed_after, b.routed_after);  // intra-stage curve, exact
+    EXPECT_EQ(a.routed_end, b.routed_end);
+    EXPECT_EQ(a.repair_cost, b.repair_cost);
+    ASSERT_EQ(a.repairs.size(), b.repairs.size());
+    for (std::size_t r = 0; r < a.repairs.size(); ++r) {
+      EXPECT_EQ(a.repairs[r].is_node, b.repairs[r].is_node);
+      EXPECT_EQ(a.repairs[r].node, b.repairs[r].node);
+      EXPECT_EQ(a.repairs[r].edge, b.repairs[r].edge);
+    }
+    EXPECT_EQ(a.shock.total(), b.shock.total());
+  }
+}
+
+class TimelineThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineThreads, RestorationCurveBitIdenticalAtAnyThreadCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const core::RecoveryProblem problem =
+      seed % 2 == 0 ? bell_canada_scenario(seed) : er_scenario(seed);
+  const recovery::TimelineResult reference =
+      run_timeline(problem, 1, nullptr);
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
+                 std::to_string(threads));
+    expect_same_timeline(run_timeline(problem, threads, &pool), reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineThreads, ::testing::Range(1, 4));
+
+}  // namespace
