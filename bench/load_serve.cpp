@@ -1,0 +1,370 @@
+// load_serve: closed-loop load generator and identity checker for netrecd.
+//
+// Builds the same preloaded problem as the server (shared serve::preload
+// flags), derives a deterministic set of damage scenarios, computes the
+// expected plan for each with a local serial PlanningEngine (= direct
+// core::IspSolver calls), then drives the server at each --clients level
+// with every client issuing --requests requests back-to-back.
+//
+// For every response the "result" bytes are extracted verbatim from the
+// wire and compared against the locally computed payload dump: the bench
+// fails (identity_ok=false, exit 1) unless every response — cache hit or
+// fresh solve, any concurrency — is bit-identical to the direct solve.
+//
+// By default the bench spawns an in-process serve::Server so it is
+// self-contained; --port targets an externally started netrecd instead
+// (the CI smoke job does both: in-process for the bench artefact, external
+// for the daemon round-trip).
+//
+// Output: per-level plans/sec, p50/p99 latency and cache hit rate, printed
+// as a table and written to --json (BENCH_serve.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "serve/engine.hpp"
+#include "serve/http.hpp"
+#include "serve/preload.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netrec;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Scenario {
+  serve::PlanRequest request;
+  std::string body;           // wire request
+  std::string expected;       // expected "result" bytes (direct-solve dump)
+  std::string fingerprint;
+};
+
+/// Deterministic damage scenarios: distinct seeded subsets of nodes/edges.
+std::vector<Scenario> make_scenarios(const core::RecoveryProblem& problem,
+                                     std::size_t count,
+                                     std::size_t damage_nodes,
+                                     std::size_t damage_edges,
+                                     std::uint64_t seed) {
+  std::vector<Scenario> scenarios(count);
+  util::Rng rng(seed);
+  for (std::size_t s = 0; s < count; ++s) {
+    serve::PlanRequest& request = scenarios[s].request;
+    for (std::size_t i = 0; i < damage_nodes; ++i) {
+      request.broken_nodes.push_back(static_cast<graph::NodeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(problem.graph.num_nodes()) - 1)));
+    }
+    for (std::size_t i = 0; i < damage_edges; ++i) {
+      request.broken_edges.push_back(static_cast<graph::EdgeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(problem.graph.num_edges()) - 1)));
+    }
+    std::sort(request.broken_nodes.begin(), request.broken_nodes.end());
+    request.broken_nodes.erase(
+        std::unique(request.broken_nodes.begin(), request.broken_nodes.end()),
+        request.broken_nodes.end());
+    std::sort(request.broken_edges.begin(), request.broken_edges.end());
+    request.broken_edges.erase(
+        std::unique(request.broken_edges.begin(), request.broken_edges.end()),
+        request.broken_edges.end());
+
+    util::Json body = util::Json::object();
+    util::Json nodes = util::Json::array();
+    for (graph::NodeId n : request.broken_nodes) {
+      nodes.push_back(static_cast<double>(n));
+    }
+    util::Json edges = util::Json::array();
+    for (graph::EdgeId e : request.broken_edges) {
+      edges.push_back(static_cast<double>(e));
+    }
+    body.set("broken_nodes", std::move(nodes));
+    body.set("broken_edges", std::move(edges));
+    scenarios[s].body = body.dump();
+    scenarios[s].fingerprint = serve::fingerprint(request);
+  }
+  return scenarios;
+}
+
+/// Extracts the verbatim "result" bytes from a /v1/plan response.  The
+/// server splices the payload between a fixed prefix and the meta object,
+/// so plain string surgery recovers the exact bytes (parsing would
+/// re-serialise and hide byte-level differences).
+bool extract_result_bytes(const std::string& response, std::string& out) {
+  static const std::string kPrefix = "{\"result\":";
+  static const std::string kMeta = ",\"meta\":{\"fingerprint\":";
+  if (response.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t meta = response.rfind(kMeta);
+  if (meta == std::string::npos || meta < kPrefix.size()) return false;
+  out = response.substr(kPrefix.size(), meta - kPrefix.size());
+  return true;
+}
+
+struct LevelResult {
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::size_t cache_hits = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;
+
+  double plans_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
+                              : 0.0;
+  }
+  /// Nearest rank (the ceil(q * n)-th smallest), matching serve::metrics.
+  double percentile_ms(double q) const {
+    if (latencies.empty()) return 0.0;
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1] * 1e3;
+  }
+};
+
+/// Runs one closed-loop level: `clients` threads, each issuing
+/// `requests_per_client` requests round-robin over the scenarios, every
+/// response identity-checked against the direct-solve payload.
+LevelResult run_level(const std::string& host, int port,
+                      const std::vector<Scenario>& scenarios,
+                      std::size_t clients, std::size_t requests_per_client,
+                      std::atomic<bool>& identity_ok,
+                      std::mutex& failure_mutex, std::string& first_failure) {
+  LevelResult level;
+  level.clients = clients;
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::size_t> errors(clients, 0);
+  std::vector<std::size_t> hits(clients, 0);
+
+  const double start = now_seconds();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        // Stagger clients across scenarios so every level mixes cache hits
+        // with fresh solves.
+        const Scenario& scenario =
+            scenarios[(c + i) % scenarios.size()];
+        const double t0 = now_seconds();
+        std::string response;
+        int status = 0;
+        try {
+          status = serve::http_request(host, port, "POST", "/v1/plan",
+                                       scenario.body, response);
+        } catch (const std::exception& e) {
+          ++errors[c];
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          if (first_failure.empty()) {
+            first_failure = std::string("transport: ") + e.what();
+          }
+          identity_ok.store(false);
+          continue;
+        }
+        latencies[c].push_back(now_seconds() - t0);
+        std::string result_bytes;
+        if (status != 200 ||
+            !extract_result_bytes(response, result_bytes) ||
+            result_bytes != scenario.expected) {
+          ++errors[c];
+          identity_ok.store(false);
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          if (first_failure.empty()) {
+            first_failure = "status " + std::to_string(status) +
+                            ", scenario " + scenario.fingerprint +
+                            ": response/result mismatch";
+          }
+          continue;
+        }
+        if (response.find("\"cached\":true") != std::string::npos) ++hits[c];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  level.wall_seconds = now_seconds() - start;
+
+  for (std::size_t c = 0; c < clients; ++c) {
+    level.requests += requests_per_client;
+    level.errors += errors[c];
+    level.cache_hits += hits[c];
+    level.latencies.insert(level.latencies.end(), latencies[c].begin(),
+                           latencies[c].end());
+  }
+  return level;
+}
+
+int run(int argc, char** argv) {
+  util::Flags flags;
+  serve::declare_preload_flags(flags);
+  flags.define("host", "127.0.0.1", "server address");
+  flags.define("port", "0",
+               "target an external netrecd; 0 = spawn an in-process server");
+  flags.define("clients", "1,4,16", "concurrency levels to sweep");
+  flags.define("requests", "24", "requests per client per level");
+  flags.define("scenarios", "6",
+               "shared damage scenarios (repeats become cache hits)");
+  flags.define("fresh", "2",
+               "extra never-seen scenarios per level (forced cache misses, "
+               "so every level solves fresh under concurrency)");
+  flags.define("damage-nodes", "3", "broken nodes drawn per scenario");
+  flags.define("damage-edges", "2", "broken edges drawn per scenario");
+  flags.define("seed", "42", "scenario RNG seed");
+  flags.define("workers", "4", "in-process server worker threads");
+  flags.define("cache", "4096", "in-process server plan-cache capacity");
+  flags.define("json", "BENCH_serve.json", "output path ('' = skip)");
+  flags.define("verbose", "false", "log solver diagnostics to stderr");
+  if (!bench::parse_or_usage(flags, argc, argv)) return 2;
+
+  const core::RecoveryProblem problem =
+      serve::build_preloaded_problem(flags);
+  std::printf("preloaded: %s\n",
+              serve::describe_preload(problem, flags).c_str());
+
+  const auto damage_nodes =
+      static_cast<std::size_t>(flags.get_int("damage-nodes"));
+  const auto damage_edges =
+      static_cast<std::size_t>(flags.get_int("damage-edges"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto fresh_per_level =
+      static_cast<std::size_t>(flags.get_int("fresh"));
+  const std::vector<double> client_levels = flags.get_double_list("clients");
+
+  // Shared scenarios recur at every level (cache hits after first touch);
+  // each level additionally gets its own never-seen scenarios, so later,
+  // more concurrent levels still perform fresh solves — the identity check
+  // covers cached AND uncached responses under contention.
+  std::vector<Scenario> shared = make_scenarios(
+      problem, static_cast<std::size_t>(flags.get_int("scenarios")),
+      damage_nodes, damage_edges, seed);
+  std::vector<std::vector<Scenario>> per_level(client_levels.size());
+  for (std::size_t li = 0; li < client_levels.size(); ++li) {
+    per_level[li] = make_scenarios(problem, fresh_per_level, damage_nodes,
+                                   damage_edges, seed + 1000 * (li + 1));
+  }
+
+  // The reference side of the identity check: a serial engine solving each
+  // scenario directly — exactly what the server's workers do, minus HTTP.
+  {
+    serve::PlanningEngine direct(problem);
+    const double t0 = now_seconds();
+    std::size_t solved = 0;
+    for (Scenario& scenario : shared) {
+      scenario.expected = direct.solve(scenario.request).dump();
+      ++solved;
+    }
+    for (std::vector<Scenario>& level : per_level) {
+      for (Scenario& scenario : level) {
+        scenario.expected = direct.solve(scenario.request).dump();
+        ++solved;
+      }
+    }
+    std::printf("direct solves: %zu scenarios in %.2fs\n", solved,
+                now_seconds() - t0);
+  }
+
+  std::string host = flags.get("host");
+  int port = flags.get_int("port");
+  std::unique_ptr<serve::Server> server;
+  if (port == 0) {
+    serve::ServerOptions options;
+    options.workers = static_cast<std::size_t>(flags.get_int("workers"));
+    options.cache_capacity =
+        static_cast<std::size_t>(flags.get_int("cache"));
+    server = std::make_unique<serve::Server>(problem, options);
+    server->start();
+    host = "127.0.0.1";
+    port = server->port();
+    std::printf("in-process server on port %d (%zu workers)\n", port,
+                options.workers);
+  }
+
+  std::atomic<bool> identity_ok{true};
+  std::mutex failure_mutex;
+  std::string first_failure;
+  const auto requests_per_client =
+      static_cast<std::size_t>(flags.get_int("requests"));
+
+  std::vector<LevelResult> levels;
+  std::printf("\n%8s %9s %12s %9s %9s %7s %7s\n", "clients", "requests",
+              "plans/sec", "p50 ms", "p99 ms", "hits", "errors");
+  for (std::size_t li = 0; li < client_levels.size(); ++li) {
+    const auto clients = static_cast<std::size_t>(client_levels[li]);
+    if (clients == 0) continue;
+    std::vector<Scenario> scenarios = shared;
+    scenarios.insert(scenarios.end(), per_level[li].begin(),
+                     per_level[li].end());
+    LevelResult level =
+        run_level(host, port, scenarios, clients, requests_per_client,
+                  identity_ok, failure_mutex, first_failure);
+    std::printf("%8zu %9zu %12.1f %9.2f %9.2f %7zu %7zu\n", level.clients,
+                level.requests, level.plans_per_sec(),
+                level.percentile_ms(0.50), level.percentile_ms(0.99),
+                level.cache_hits, level.errors);
+    levels.push_back(std::move(level));
+  }
+
+  if (server) {
+    server->stop();
+    server.reset();
+  }
+
+  std::printf("\nidentity check: %s\n",
+              identity_ok.load() ? "OK — every response bit-identical to "
+                                   "direct IspSolver solves"
+                                 : ("FAILED — " + first_failure).c_str());
+
+  const std::string json_path = flags.get("json");
+  if (!json_path.empty()) {
+    util::Json out = util::Json::object();
+    out.set("bench", "load_serve");
+    out.set("identity_ok", identity_ok.load());
+    util::Json config = util::Json::object();
+    config.set("topology", flags.get("topology"));
+    config.set("shared_scenarios", shared.size());
+    config.set("fresh_per_level", fresh_per_level);
+    config.set("requests_per_client", requests_per_client);
+    config.set("external_server", flags.get_int("port") != 0);
+    out.set("config", std::move(config));
+    util::Json series = util::Json::array();
+    for (const LevelResult& level : levels) {
+      util::Json entry = util::Json::object();
+      entry.set("clients", level.clients);
+      entry.set("requests", level.requests);
+      entry.set("errors", level.errors);
+      entry.set("plans_per_sec", level.plans_per_sec());
+      entry.set("p50_ms", level.percentile_ms(0.50));
+      entry.set("p99_ms", level.percentile_ms(0.99));
+      entry.set("cache_hits", level.cache_hits);
+      entry.set("cache_hit_rate",
+                level.requests == 0
+                    ? 0.0
+                    : static_cast<double>(level.cache_hits) /
+                          static_cast<double>(level.requests));
+      series.push_back(std::move(entry));
+    }
+    out.set("levels", std::move(series));
+    util::write_json_file(json_path, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return identity_ok.load() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

@@ -32,7 +32,11 @@ std::vector<double> TimelineResult::step_series() const {
 }
 
 double TimelineResult::restoration_auc(std::size_t horizon) const {
-  return util::restoration_auc(stage_series(horizon), total_demand);
+  // A zero-stage run (nothing broken, policy idle) has an empty stage
+  // series; pad to at least one point so the AUC reports the actual routed
+  // fraction instead of util::restoration_auc's degenerate 0.
+  return util::restoration_auc(stage_series(std::max<std::size_t>(horizon, 1)),
+                               total_demand);
 }
 
 std::size_t TimelineResult::stages_to_restore(double fraction) const {

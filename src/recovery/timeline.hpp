@@ -168,7 +168,8 @@ struct TimelineResult {
   /// heuristics::RecoverySchedule).
   std::vector<double> step_series() const;
 
-  /// util::restoration_auc over stage_series(horizon).
+  /// util::restoration_auc over stage_series(max(horizon, 1)): a zero-stage
+  /// run scores its final routed fraction, not the degenerate 0.
   double restoration_auc(std::size_t horizon = 0) const;
   /// util::steps_to_fraction over the unpadded stage series.
   std::size_t stages_to_restore(double fraction) const;

@@ -1,0 +1,176 @@
+#include "serve/engine.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "heuristics/schedule.hpp"
+#include "recovery/dynamics.hpp"
+#include "recovery/policies.hpp"
+#include "recovery/timeline.hpp"
+#include "util/rng.hpp"
+
+namespace netrec::serve {
+
+namespace {
+
+/// RAII damage state: applies the request's broken flags on construction,
+/// clears them on destruction (also on exception), so the engine's graph
+/// returns to fully-operational between requests.
+class ScopedDamage {
+ public:
+  ScopedDamage(graph::Graph& g, const PlanRequest& request)
+      : g_(g), request_(request) {
+    for (graph::NodeId n : request_.broken_nodes) g_.set_node_broken(n, true);
+    for (graph::EdgeId e : request_.broken_edges) g_.set_edge_broken(e, true);
+  }
+  ~ScopedDamage() {
+    for (graph::NodeId n : request_.broken_nodes) {
+      g_.set_node_broken(n, false);
+    }
+    for (graph::EdgeId e : request_.broken_edges) {
+      g_.set_edge_broken(e, false);
+    }
+  }
+  ScopedDamage(const ScopedDamage&) = delete;
+  ScopedDamage& operator=(const ScopedDamage&) = delete;
+
+ private:
+  graph::Graph& g_;
+  const PlanRequest& request_;
+};
+
+util::Json repair_entry(const char* kind, std::int32_t id,
+                        const std::string& label) {
+  util::Json entry = util::Json::object();
+  entry.set("kind", kind);
+  entry.set("id", static_cast<double>(id));
+  entry.set("label", label);
+  return entry;
+}
+
+}  // namespace
+
+PlanningEngine::PlanningEngine(const core::RecoveryProblem& baseline,
+                               EngineOptions options)
+    : problem_(baseline), opt_(std::move(options)) {
+  // The request is the complete damage state; any damage the loaded
+  // topology carried would silently compound every plan.
+  for (std::size_t n = 0; n < problem_.graph.num_nodes(); ++n) {
+    problem_.graph.set_node_broken(static_cast<graph::NodeId>(n), false);
+  }
+  for (std::size_t e = 0; e < problem_.graph.num_edges(); ++e) {
+    problem_.graph.set_edge_broken(static_cast<graph::EdgeId>(e), false);
+  }
+  // One warm pool for the engine's lifetime instead of a spawn per solve.
+  pool_ = util::ThreadPool::acquire(owned_pool_, opt_.solve_threads, nullptr);
+  opt_.isp.pool = pool_;
+  opt_.isp.solve_threads = opt_.solve_threads;
+}
+
+util::Json PlanningEngine::solve(const PlanRequest& request) {
+  ScopedDamage damage(problem_.graph, request);
+  return request.mode == PlanRequest::Mode::kIsp ? solve_isp(request)
+                                                 : solve_timeline(request);
+}
+
+util::Json PlanningEngine::solve_isp(const PlanRequest&) {
+  core::IspSolver solver(problem_, opt_.isp);
+  const core::RecoverySolution solution = solver.solve();
+  const heuristics::RecoverySchedule schedule =
+      heuristics::schedule_repairs(problem_, solution);
+
+  util::Json repairs = util::Json::array();
+  for (const heuristics::ScheduleStep& step : schedule.steps) {
+    util::Json entry = repair_entry(step.is_node ? "node" : "edge",
+                                    step.is_node ? step.node : step.edge,
+                                    step.label);
+    entry.set("restored_after", step.restored_after);
+    repairs.push_back(std::move(entry));
+  }
+
+  util::Json restoration = util::Json::object();
+  restoration.set("series", [&] {
+    util::Json series = util::Json::array();
+    for (double v : schedule.restored_series()) series.push_back(v);
+    return series;
+  }());
+  restoration.set("auc", schedule.restoration_auc());
+  restoration.set("steps_to_90", schedule.steps_to_restore(0.9));
+
+  // No wall-clock fields: the payload must be a pure function of the
+  // request so cache hits are byte-identical to fresh solves.
+  util::Json out = util::Json::object();
+  out.set("mode", "isp");
+  out.set("algorithm", solution.algorithm);
+  out.set("feasible", solution.instance_feasible);
+  out.set("total_demand", schedule.total_demand);
+  out.set("satisfied_fraction", solution.satisfied_fraction);
+  out.set("repair_cost", solution.repair_cost);
+  out.set("total_repairs", solution.total_repairs());
+  out.set("iterations", solution.iterations);
+  out.set("repairs", std::move(repairs));
+  out.set("restoration", std::move(restoration));
+  return out;
+}
+
+util::Json PlanningEngine::solve_timeline(const PlanRequest& request) {
+  std::unique_ptr<recovery::Policy> policy;
+  if (request.policy == PlanRequest::Policy::kReplay) {
+    recovery::ReplayOptions ropt;
+    ropt.isp = opt_.isp;
+    policy = std::make_unique<recovery::ReplayPolicy>(ropt);
+  } else {
+    recovery::ReplanOptions ropt;
+    ropt.isp = opt_.isp;
+    policy = std::make_unique<recovery::ReplanPolicy>(ropt);
+  }
+  recovery::StaticDynamics dynamics;
+
+  recovery::TimelineOptions topt;
+  topt.stage_budget = request.stage_budget;
+  topt.max_stages = request.max_stages;
+  topt.pool = pool_;
+  topt.solve_threads = opt_.solve_threads;
+
+  util::Rng rng(request.seed);
+  const recovery::TimelineResult result =
+      recovery::Timeline(problem_, *policy, dynamics, topt).run(rng);
+
+  util::Json repairs = util::Json::array();
+  for (const recovery::StageRecord& stage : result.stages) {
+    for (const recovery::RepairAction& action : stage.repairs) {
+      util::Json entry = repair_entry(action.is_node ? "node" : "edge",
+                                      action.is_node ? action.node
+                                                     : action.edge,
+                                      action.label);
+      entry.set("stage", stage.stage);
+      repairs.push_back(std::move(entry));
+    }
+  }
+
+  util::Json restoration = util::Json::object();
+  restoration.set("series", [&] {
+    util::Json series = util::Json::array();
+    for (double v : result.stage_series(request.max_stages)) {
+      series.push_back(v);
+    }
+    return series;
+  }());
+  restoration.set("auc", result.restoration_auc(request.max_stages));
+  restoration.set("stages_to_90", result.stages_to_restore(0.9));
+
+  util::Json out = util::Json::object();
+  out.set("mode", "timeline");
+  out.set("policy", result.policy);
+  out.set("total_demand", result.total_demand);
+  out.set("initial_routed", result.initial_routed);
+  out.set("final_routed", result.final_routed);
+  out.set("repair_cost", result.total_repair_cost);
+  out.set("total_repairs", result.total_repairs);
+  out.set("stages", result.stages.size());
+  out.set("repairs", std::move(repairs));
+  out.set("restoration", std::move(restoration));
+  return out;
+}
+
+}  // namespace netrec::serve

@@ -1,0 +1,68 @@
+// PlanningEngine — one warm, re-entrant-by-isolation recovery solver.
+//
+// Each server worker owns one engine.  The engine keeps a private copy of
+// the preloaded problem (its graph's broken flags are scratch state for the
+// current request) plus a persistent intra-solve ThreadPool, so serving a
+// request never touches shared mutable state: concurrency comes from many
+// engines side by side, determinism from each engine being single-request
+// at a time.  The underlying solver layers (ViewCache snapshots,
+// PathLpSession column pools, the PR 7 parallel kernels) are constructed
+// per solve inside IspSolver/Timeline and reuse state *within* a request.
+//
+// The baseline topology is treated as fully operational: the request is the
+// complete damage state (engine construction clears any broken flags the
+// loaded topology carried), which makes the request fingerprint and the
+// solved state bijective — the precondition for cache hits returning
+// bit-identical plans.
+//
+// solve() is deterministic: the payload contains no wall-clock or
+// machine-dependent fields, so payload(request) is a pure function and two
+// engines (or one engine twice) produce byte-identical dumps for one
+// request.  That property is what the plan cache, the load-generator
+// identity check and the concurrency test suite all assert.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/isp.hpp"
+#include "core/problem.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace netrec::serve {
+
+struct EngineOptions {
+  /// Solver configuration shared by both modes; `pool`/`solve_threads` are
+  /// overwritten by the engine's own warm pool.
+  core::IspOptions isp;
+  /// Intra-solve parallelism per request (PR 7 contract: bit-identical to
+  /// serial at any count).  1 = serial, 0 = auto.
+  std::size_t solve_threads = 1;
+};
+
+class PlanningEngine {
+ public:
+  explicit PlanningEngine(const core::RecoveryProblem& baseline,
+                          EngineOptions options = {});
+
+  /// Solves the request against the baseline topology and returns the
+  /// deterministic response payload (the "result" object of the wire
+  /// response).  Damage flags are applied before and restored after the
+  /// solve, also on exception.
+  util::Json solve(const PlanRequest& request);
+
+  const core::RecoveryProblem& problem() const { return problem_; }
+
+ private:
+  util::Json solve_isp(const PlanRequest& request);
+  util::Json solve_timeline(const PlanRequest& request);
+
+  core::RecoveryProblem problem_;
+  EngineOptions opt_;
+  std::optional<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace netrec::serve

@@ -1,0 +1,77 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netrec::serve {
+
+LatencyWindow::LatencyWindow(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void LatencyWindow::add(double seconds) {
+  ring_[next_] = seconds;
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+}
+
+double LatencyWindow::percentile(double q) const {
+  if (filled_ == 0) return 0.0;
+  std::vector<double> sorted(ring_.begin(),
+                             ring_.begin() + static_cast<long>(filled_));
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest rank: the smallest sample with at least q of the mass below it.
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(filled_)));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double LatencyWindow::mean() const {
+  if (filled_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) sum += ring_[i];
+  return sum / static_cast<double>(filled_);
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t window_capacity)
+    : window_capacity_(window_capacity) {}
+
+void MetricsRegistry::record(const std::string& endpoint, double seconds,
+                             bool error, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(endpoint);
+  if (it == entries_.end()) {
+    it = entries_.emplace(endpoint, Entry(window_capacity_)).first;
+  }
+  Entry& entry = it->second;
+  ++entry.requests;
+  if (error) ++entry.errors;
+  if (cache_hit) ++entry.cache_hits;
+  entry.window.add(seconds);
+}
+
+util::Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Json out = util::Json::object();
+  for (const auto& [endpoint, entry] : entries_) {
+    util::Json stats = util::Json::object();
+    stats.set("requests", entry.requests);
+    stats.set("errors", entry.errors);
+    stats.set("cache_hits", entry.cache_hits);
+    stats.set("cache_hit_rate",
+              entry.requests == 0
+                  ? 0.0
+                  : static_cast<double>(entry.cache_hits) /
+                        static_cast<double>(entry.requests));
+    stats.set("window_samples", entry.window.count());
+    util::Json latency = util::Json::object();
+    latency.set("mean", entry.window.mean() * 1e3);
+    latency.set("p50", entry.window.percentile(0.5) * 1e3);
+    latency.set("p99", entry.window.percentile(0.99) * 1e3);
+    stats.set("latency_ms", std::move(latency));
+    out.set(endpoint, std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace netrec::serve

@@ -1,0 +1,70 @@
+// Windowed per-endpoint service metrics (requests, error count, cache hit
+// rate, p50/p99 latency over a sliding window of recent samples), exposed
+// as a JSON snapshot on /v1/metrics.
+//
+// The window is a fixed-capacity ring of the most recent latencies: cheap
+// O(1) recording on the request path, percentile computation deferred to
+// snapshot time (sorting a copy), and old traffic ages out instead of
+// polluting the percentiles forever — the shape of CCF's windowed rate
+// metrics, reduced to what one process needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace netrec::serve {
+
+/// Fixed-capacity ring of the most recent latency samples.
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(std::size_t capacity = 1024);
+
+  void add(double seconds);
+  /// Samples currently held (<= capacity).
+  std::size_t count() const { return filled_; }
+
+  /// Nearest-rank percentile over the window, q in [0, 1]; 0 when empty.
+  double percentile(double q) const;
+  double mean() const;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+};
+
+/// Thread-safe per-endpoint registry.  record() is called once per request
+/// from whichever worker served it; snapshot() renders every endpoint in
+/// sorted order so the emission is deterministic for a given history.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t window_capacity = 1024);
+
+  void record(const std::string& endpoint, double seconds, bool error,
+              bool cache_hit);
+
+  /// {"<endpoint>": {requests, errors, cache_hits, cache_hit_rate,
+  ///   window_samples, latency_ms: {mean, p50, p99}}}
+  util::Json snapshot() const;
+
+ private:
+  struct Entry {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cache_hits = 0;
+    LatencyWindow window;
+    explicit Entry(std::size_t capacity) : window(capacity) {}
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::size_t window_capacity_;
+};
+
+}  // namespace netrec::serve

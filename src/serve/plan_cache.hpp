@@ -1,0 +1,60 @@
+// PlanCache — LRU cache of serialised plan payloads keyed by the canonical
+// damage-state fingerprint (serve::canonical_key).
+//
+// Values are the exact payload bytes a fresh solve produced (the engine's
+// payload is a pure function of the request, see engine.hpp), so a hit IS
+// bit-identical to a re-solve by construction — the cache stores dumps, not
+// re-serialisable objects, to make that property structural.  Payloads are
+// handed out as shared_ptr so eviction never invalidates a response that is
+// still being written to a socket.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace netrec::serve {
+
+class PlanCache {
+ public:
+  /// `capacity` is the entry cap; 0 disables the cache (find always misses,
+  /// insert is a no-op).
+  explicit PlanCache(std::size_t capacity);
+
+  /// Returns the cached payload and touches the entry, or nullptr.
+  std::shared_ptr<const std::string> find(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry beyond capacity.  Concurrent solves of the same key may both
+  /// insert; the payloads are identical by determinism, so last-wins is
+  /// harmless.
+  void insert(const std::string& key, std::string payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> payload;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace netrec::serve

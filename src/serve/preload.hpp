@@ -1,0 +1,37 @@
+// Shared topology preloading for netrecd and the load generator.
+//
+// The identity check in bench/load_serve compares server responses against
+// direct IspSolver calls, which only means something when both sides planned
+// over the exact same problem instance.  Both binaries therefore declare the
+// same flags and call the same builder: identical flag values produce a
+// bit-identical RecoveryProblem (generators and demand placement are seeded,
+// file loads are deterministic).
+//
+//   --topology  generator family (bell_canada | erdos_renyi | caida | rmat |
+//               barabasi_albert, plus the er/ba shorthands), or "gml:<path>" /
+//               "ntb:<path>" to load a file
+//   --topo-seed generator seed (ignored for file loads)
+//   --pairs     number of far-apart demand pairs placed on the topology
+//   --demand    demand volume per pair
+//   --demand-seed  seed for demand placement
+#pragma once
+
+#include "core/problem.hpp"
+#include "util/flags.hpp"
+
+namespace netrec::serve {
+
+/// Declares the preload flags with their defaults (bell_canada, 8 pairs of
+/// 12 demand, seeds 1/7).
+void declare_preload_flags(util::Flags& flags);
+
+/// Builds the problem the flags describe; throws std::invalid_argument on a
+/// malformed --topology spec and std::runtime_error on unreadable files.
+core::RecoveryProblem build_preloaded_problem(const util::Flags& flags);
+
+/// One-line human description of what was loaded ("bell_canada seed=1,
+/// 25 nodes / 45 edges, 8 demand pairs"), for startup logs.
+std::string describe_preload(const core::RecoveryProblem& problem,
+                             const util::Flags& flags);
+
+}  // namespace netrec::serve

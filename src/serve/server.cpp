@@ -1,0 +1,273 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "serve/http.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace netrec::serve {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string error_body(const std::string& message) {
+  util::Json body = util::Json::object();
+  body.set("error", message);
+  return body.dump();
+}
+
+/// Formats latency with fixed precision so response bytes stay compact.
+std::string format_latency_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+util::Json describe_problem(const core::RecoveryProblem& problem) {
+  util::Json out = util::Json::object();
+  out.set("nodes", problem.graph.num_nodes());
+  out.set("edges", problem.graph.num_edges());
+  out.set("demands", problem.demands.size());
+  out.set("total_demand", problem.total_demand());
+  out.set("total_repair_cost_if_all_broken", [&] {
+    double total = 0.0;
+    for (std::size_t n = 0; n < problem.graph.num_nodes(); ++n) {
+      total += problem.graph.node_repair_cost(static_cast<graph::NodeId>(n));
+    }
+    for (std::size_t e = 0; e < problem.graph.num_edges(); ++e) {
+      total += problem.graph.edge_repair_cost(static_cast<graph::EdgeId>(e));
+    }
+    return total;
+  }());
+  return out;
+}
+
+}  // namespace
+
+Server::Server(core::RecoveryProblem baseline, ServerOptions options)
+    : baseline_(std::move(baseline)),
+      opt_(std::move(options)),
+      cache_(opt_.cache_capacity),
+      metrics_(opt_.metrics_window) {
+  if (opt_.workers == 0) {
+    throw std::invalid_argument("Server: workers must be >= 1");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) {
+    throw std::logic_error("Server::start called twice");
+  }
+  listen_fd_ = listen_on(opt_.bind_address, opt_.port);
+  port_ = bound_port(listen_fd_);
+  workers_.reserve(opt_.workers);
+  for (std::size_t i = 0; i < opt_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  NETREC_LOG(kInfo) << "netrecd listening on " << opt_.bind_address << ":"
+                    << port_ << " (" << opt_.workers << " workers)";
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void Server::stop() {
+  if (!running_.load()) return;
+  if (!stopping_.exchange(true)) {
+    // Unblock workers parked in accept(): shutdown makes pending and
+    // future accepts fail immediately; close releases the fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  listen_fd_ = -1;
+  running_.store(false);
+  request_stop();  // release wait()-ers even when stop() came first
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+  // Each worker owns a warm engine for its whole lifetime: the expensive
+  // problem copy and thread-pool spin-up happen once, not per request.
+  PlanningEngine engine(baseline_, opt_.engine);
+  (void)worker_index;
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load()) break;
+      // Transient accept failures (ECONNABORTED, EMFILE...) should not
+      // kill the worker; anything persistent will just spin back here.
+      continue;
+    }
+    timeval timeout{};
+    timeout.tv_sec = opt_.receive_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    try {
+      handle_connection(fd, engine);
+    } catch (const std::exception& e) {
+      NETREC_LOG(kWarn) << "serve: dropping connection: " << e.what();
+    }
+    ::close(fd);
+  }
+}
+
+void Server::handle_connection(int fd, PlanningEngine& engine) {
+  HttpRequest request;
+  const double start = now_seconds();
+  try {
+    if (!read_http_request(fd, request)) return;  // idle close
+  } catch (const HttpError& e) {
+    write_http_response(fd, e.status(), "application/json",
+                        error_body(e.what()));
+    return;
+  }
+
+  bool cache_hit = false;
+  int status = 500;
+  std::string body;
+  try {
+    std::tie(status, body) = route(request, engine, cache_hit);
+  } catch (const HttpError& e) {
+    status = e.status();
+    body = error_body(e.what());
+  } catch (const std::exception& e) {
+    status = 500;
+    body = error_body(std::string("internal error: ") + e.what());
+  }
+  metrics_.record(request.method + " " + request.target, now_seconds() - start,
+                  status >= 400, cache_hit);
+  write_http_response(fd, status, "application/json", body);
+}
+
+std::pair<int, std::string> Server::route(const HttpRequest& request,
+                                          PlanningEngine& engine,
+                                          bool& cache_hit) {
+  const std::string& target = request.target;
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+  if (!is_get && !is_post) {
+    throw HttpError(405, "unsupported method " + request.method);
+  }
+
+  if (target == "/v1/health") {
+    if (!is_get) throw HttpError(405, "use GET /v1/health");
+    util::Json body = util::Json::object();
+    body.set("status", "ok");
+    body.set("nodes", baseline_.graph.num_nodes());
+    body.set("edges", baseline_.graph.num_edges());
+    body.set("workers", opt_.workers);
+    return {200, body.dump()};
+  }
+  if (target == "/v1/topology") {
+    if (!is_get) throw HttpError(405, "use GET /v1/topology");
+    return {200, describe_problem(baseline_).dump()};
+  }
+  if (target == "/v1/metrics") {
+    if (!is_get) throw HttpError(405, "use GET /v1/metrics");
+    util::Json body = util::Json::object();
+    body.set("endpoints", metrics_.snapshot());
+    const PlanCache::Stats stats = cache_.stats();
+    util::Json cache = util::Json::object();
+    cache.set("hits", stats.hits);
+    cache.set("misses", stats.misses);
+    cache.set("evictions", stats.evictions);
+    cache.set("entries", stats.entries);
+    cache.set("capacity", stats.capacity);
+    const std::uint64_t lookups = stats.hits + stats.misses;
+    cache.set("hit_rate", lookups == 0 ? 0.0
+                                       : static_cast<double>(stats.hits) /
+                                             static_cast<double>(lookups));
+    body.set("plan_cache", cache);
+    return {200, body.dump()};
+  }
+  if (target == "/v1/plan") {
+    if (!is_post) throw HttpError(405, "use POST /v1/plan");
+    return {200, handle_plan(request.body, engine, cache_hit, now_seconds())};
+  }
+  if (target == "/v1/shutdown") {
+    if (!is_post) throw HttpError(405, "use POST /v1/shutdown");
+    if (!opt_.enable_shutdown_endpoint) {
+      throw HttpError(404, "shutdown endpoint disabled");
+    }
+    request_stop();
+    util::Json body = util::Json::object();
+    body.set("status", "stopping");
+    return {200, body.dump()};
+  }
+  throw HttpError(404, "no such endpoint: " + target);
+}
+
+std::string Server::handle_plan(const std::string& body,
+                                PlanningEngine& engine, bool& cache_hit,
+                                double start_seconds) {
+  util::Json parsed;
+  try {
+    parsed = util::Json::parse(body);
+  } catch (const std::exception& e) {
+    throw HttpError(400, std::string("invalid JSON: ") + e.what());
+  }
+  PlanRequest request;
+  try {
+    request = parse_plan_request(parsed, baseline_);
+  } catch (const std::invalid_argument& e) {
+    throw HttpError(400, e.what());
+  }
+
+  const std::string key = canonical_key(request);
+  const std::string digest = fingerprint(request);
+
+  std::shared_ptr<const std::string> payload = cache_.find(key);
+  cache_hit = payload != nullptr;
+  if (!payload) {
+    std::string fresh = engine.solve(request).dump();
+    payload = std::make_shared<const std::string>(std::move(fresh));
+    cache_.insert(key, *payload);
+  }
+
+  // The payload bytes are spliced in verbatim — identical between a cache
+  // hit and a fresh solve.  Everything request-specific (fingerprint,
+  // cached flag, latency) lives in the meta object outside those bytes.
+  std::string response = "{\"result\":";
+  response += *payload;
+  response += ",\"meta\":{\"fingerprint\":\"";
+  response += digest;
+  response += "\",\"cached\":";
+  response += cache_hit ? "true" : "false";
+  response += ",\"latency_ms\":";
+  response += format_latency_ms(now_seconds() - start_seconds);
+  response += "}}";
+  return response;
+}
+
+}  // namespace netrec::serve

@@ -1,0 +1,117 @@
+// netrecd core: recovery planning as a long-running service.
+//
+// One Server owns a listening socket and a pool of worker threads; each
+// worker owns a warm serve::PlanningEngine (private problem copy + private
+// intra-solve ThreadPool), accepts connections directly off the shared
+// listener and serves one request per connection.  Re-entrancy therefore
+// holds by isolation: no request ever shares solver state with another,
+// and the only cross-worker structures — the plan cache and the metrics
+// registry — are internally locked.
+//
+// Endpoints (request/response schemas in docs/serve_protocol.md):
+//   GET  /v1/health    liveness + topology summary
+//   GET  /v1/topology  preloaded problem description
+//   POST /v1/plan      damage state in -> repair plan + restoration out
+//   GET  /v1/metrics   per-endpoint windowed metrics + plan-cache stats
+//   POST /v1/shutdown  clean stop (optional; netrecd enables it)
+//
+// /v1/plan responses are {"result": <payload>, "meta": {fingerprint,
+// cached, latency_ms}}: the payload bytes come either from a fresh
+// PlanningEngine solve or verbatim from the plan cache, so a cache hit is
+// bit-identical to a fresh solve by construction (the meta object carries
+// everything request-specific).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "serve/engine.hpp"
+#include "serve/http.hpp"
+#include "serve/metrics.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace netrec::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (query with port() after start()).
+  int port = 0;
+  /// Worker threads == concurrently served requests == warm engines.
+  std::size_t workers = 4;
+  /// Plan-cache entry cap; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Latency samples kept per endpoint for the windowed percentiles.
+  std::size_t metrics_window = 4096;
+  /// Per-worker engine configuration (intra-solve threads, ISP options).
+  EngineOptions engine;
+  /// Allow POST /v1/shutdown (netrecd turns this on; embedded test servers
+  /// usually stop via stop()).
+  bool enable_shutdown_endpoint = true;
+  /// Per-connection receive timeout.
+  int receive_timeout_seconds = 30;
+};
+
+class Server {
+ public:
+  /// Copies the baseline problem; see EngineOptions for damage semantics.
+  Server(core::RecoveryProblem baseline, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the workers; throws std::runtime_error on
+  /// bind failure.  Call at most once.
+  void start();
+
+  /// Signals wait() to return (used by the shutdown endpoint and signal
+  /// handlers); does not join workers.  Safe from any thread.
+  void request_stop();
+
+  /// Blocks until request_stop() (or the shutdown endpoint) fires.
+  void wait();
+
+  /// Closes the listener and joins all workers; idempotent.  Must not be
+  /// called from a worker thread (the shutdown endpoint uses
+  /// request_stop() + the owner's stop()).
+  void stop();
+
+  /// Bound port (resolves ephemeral binds); valid after start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  const core::RecoveryProblem& baseline() const { return baseline_; }
+  PlanCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void handle_connection(int fd, PlanningEngine& engine);
+  /// Routes one parsed request; returns {status, body}.
+  std::pair<int, std::string> route(const HttpRequest& request,
+                                    PlanningEngine& engine, bool& cache_hit);
+  std::string handle_plan(const std::string& body, PlanningEngine& engine,
+                          bool& cache_hit, double start_seconds);
+
+  core::RecoveryProblem baseline_;
+  ServerOptions opt_;
+  PlanCache cache_;
+  MetricsRegistry metrics_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace netrec::serve

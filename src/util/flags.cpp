@@ -1,5 +1,6 @@
 #include "util/flags.hpp"
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -52,6 +53,11 @@ void Flags::define(const std::string& name, const std::string& default_value,
 }
 
 bool Flags::parse(int argc, const char* const* argv) {
+  // A flag given twice on one command line is almost always an editing
+  // mistake in a sweep script, and silently letting the last value win
+  // makes the first one a lie; fail loudly instead (mirrors the strict
+  // numeric parsing below).
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return false;
@@ -74,6 +80,9 @@ bool Flags::parse(int argc, const char* const* argv) {
     }
     if (!specs_.count(name)) {
       throw std::invalid_argument("unknown flag --" + name);
+    }
+    if (!seen.insert(name).second) {
+      throw std::invalid_argument("duplicate flag --" + name);
     }
     values_[name] = value;
   }
@@ -100,7 +109,14 @@ double Flags::get_double(const std::string& name) const {
 
 bool Flags::get_bool(const std::string& name) const {
   const std::string v = get(name);
-  return v == "1" || v == "true" || v == "yes" || v == "on";
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  // Anything else used to read as false — "--verbose ture" silently
+  // disabling the thing it was meant to enable.  Strict like the numerics.
+  throw std::invalid_argument("flag --" + name +
+                              " expects a boolean (true/false/1/0/yes/no/"
+                              "on/off), got '" +
+                              v + "'");
 }
 
 std::vector<double> Flags::get_double_list(const std::string& name) const {

@@ -18,8 +18,9 @@ class Flags {
   void define(const std::string& name, const std::string& default_value,
               const std::string& help);
 
-  /// Parses argv; throws std::invalid_argument on unknown/malformed flags.
-  /// Recognises --help by returning false (caller should print usage()).
+  /// Parses argv; throws std::invalid_argument on unknown, duplicated or
+  /// malformed flags.  Recognises --help by returning false (caller should
+  /// print usage()).
   bool parse(int argc, const char* const* argv);
 
   std::string get(const std::string& name) const;
@@ -28,6 +29,8 @@ class Flags {
   /// instead of silently truncating).
   int get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
+  /// Strict boolean: true/false/1/0/yes/no/on/off; anything else throws
+  /// std::invalid_argument (a typo'd "--verbose ture" must not read false).
   bool get_bool(const std::string& name) const;
 
   /// Comma-separated list of doubles, e.g. "--sweep 2,4,6"; every element

@@ -150,6 +150,26 @@ class Parser {
     return parse_number();
   }
 
+  /// Four hex digits of a \u escape; advances past them.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -189,30 +209,38 @@ class Parser {
           out += '\f';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape");
+          // One \uXXXX names a BMP code point; an astral code point arrives
+          // as a UTF-16 surrogate pair.  Lone surrogates are not code points
+          // — decoding them would emit invalid UTF-8, so they are rejected
+          // (this parser reads untrusted netrecd client input).
+          const unsigned first = parse_hex4();
+          unsigned code = first;
+          if (first >= 0xd800 && first <= 0xdbff) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
             }
+            pos_ += 2;
+            const unsigned second = parse_hex4();
+            if (second < 0xdc00 || second > 0xdfff) {
+              fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+          } else if (first >= 0xdc00 && first <= 0xdfff) {
+            fail("unpaired low surrogate in \\u escape");
           }
-          // UTF-8 encode the code point (BMP only; surrogate pairs are not
-          // produced by our writer).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xc0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
             out += static_cast<char>(0x80 | (code & 0x3f));
           }

@@ -50,7 +50,12 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double restoration_auc(const std::vector<double>& restored, double total) {
-  if (restored.empty() || total <= 0.0) return 1.0;
+  // Degenerate input — no measurements, or nothing to restore — must not
+  // score as "fully restored": a failed solve that produced no series would
+  // otherwise report a perfect recovery (user-facing once netrecd serves
+  // these numbers).  Callers that know an empty series means "already
+  // healthy" pad the series first (TimelineResult::restoration_auc).
+  if (restored.empty() || total <= 0.0) return 0.0;
   double area = 0.0;
   for (double x : restored) area += x / total;
   return area / static_cast<double>(restored.size());

@@ -49,8 +49,10 @@ class RunningStats {
 
 /// Area under the restoration curve, normalised to [0, 1]: the mean of
 /// restored[i] / total over the series.  1 means everything was restored
-/// instantly.  An empty series or non-positive total scores 1 (nothing to
-/// restore counts as instantly restored).
+/// instantly.  An empty series or non-positive total scores 0 — degenerate
+/// input must not read as "fully restored" (it would mask a failed solve);
+/// callers that know an empty series means "already healthy" pad the series
+/// before scoring (TimelineResult::restoration_auc).
 double restoration_auc(const std::vector<double>& restored, double total);
 
 /// Steps until `fraction` of `total` is restored: 1-based index of the

@@ -153,7 +153,9 @@ TEST(Schedule, EmptySolutionYieldsEmptySchedule) {
   core::score_solution(p, none);
   const auto schedule = heuristics::schedule_repairs(p, none);
   EXPECT_TRUE(schedule.steps.empty());
-  EXPECT_DOUBLE_EQ(schedule.restoration_auc(), 1.0);
+  // An empty plan on a damaged instance restored nothing; the AUC must say
+  // so (it used to score the degenerate series as a perfect 1.0).
+  EXPECT_DOUBLE_EQ(schedule.restoration_auc(), 0.0);
   EXPECT_EQ(schedule.steps_to_restore(0.5), 1u);
 }
 

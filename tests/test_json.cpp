@@ -72,6 +72,39 @@ TEST(Json, ParseHandlesWhitespaceAndEscapes) {
   EXPECT_TRUE(parsed.at("aA").at(1).is_null());
 }
 
+TEST(Json, SurrogatePairsDecodeToAstralCodePoints) {
+  // U+1F600 (😀) arrives as the UTF-16 pair D83D DE00 and must decode to
+  // the 4-byte UTF-8 sequence F0 9F 98 80.
+  const Json grin = Json::parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(grin.as_string(), "\xf0\x9f\x98\x80");
+  // Uppercase hex, pair embedded in surrounding text.
+  const Json mixed = Json::parse("\"a\\uD83D\\uDE00b\"");
+  EXPECT_EQ(mixed.as_string(), "a\xf0\x9f\x98\x80"
+                               "b");
+  // U+10000, the first astral code point (pair D800 DC00).
+  EXPECT_EQ(Json::parse("\"\\ud800\\udc00\"").as_string(),
+            "\xf0\x90\x80\x80");
+  // The writer emits raw UTF-8, so the decoded value round-trips.
+  EXPECT_EQ(Json::parse(grin.dump()).as_string(), grin.as_string());
+  EXPECT_EQ(Json::parse(mixed.dump()), mixed);
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  // Unpaired high surrogate: end of string, non-escape follow-up, or an
+  // escape that is not a low surrogate.
+  EXPECT_THROW(Json::parse("\"\\ud800\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\ud83dx\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\ud83d\\n\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\ud83d\\u0041\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\ud800\\ud800\""), std::runtime_error);
+  // Unpaired low surrogate.
+  EXPECT_THROW(Json::parse("\"\\udc00\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"\\ude00abc\""), std::runtime_error);
+  // BMP escapes on the surrogate-range boundaries still work.
+  EXPECT_EQ(Json::parse("\"\\ud7ff\"").as_string(), "\xed\x9f\xbf");
+  EXPECT_EQ(Json::parse("\"\\ue000\"").as_string(), "\xee\x80\x80");
+}
+
 TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse(""), std::runtime_error);
   EXPECT_THROW(Json::parse("{"), std::runtime_error);

@@ -251,6 +251,55 @@ TEST(Flags, RejectsTrailingWhitespaceAndPartialExponent) {
   EXPECT_EQ(ok.get_int("n"), 7);
 }
 
+TEST(Flags, RejectsDuplicateFlags) {
+  // "--n 3 ... --n 5" is an editing mistake, not a request for last-wins.
+  Flags flags;
+  flags.define("n", "1", "n");
+  flags.define("m", "2", "m");
+  const char* dup[] = {"prog", "--n", "3", "--m=4", "--n=5"};
+  EXPECT_THROW(flags.parse(5, dup), std::invalid_argument);
+  // Both syntaxes name the same flag.
+  const char* mixed[] = {"prog", "--n=3", "--n", "5"};
+  EXPECT_THROW(flags.parse(4, mixed), std::invalid_argument);
+  // A fresh parse call (new command line) is not a duplicate of the last.
+  Flags fresh;
+  fresh.define("n", "1", "n");
+  const char* once[] = {"prog", "--n", "3"};
+  ASSERT_TRUE(fresh.parse(3, once));
+  ASSERT_TRUE(fresh.parse(3, once));
+  EXPECT_EQ(fresh.get_int("n"), 3);
+}
+
+TEST(Flags, BoolParsingIsStrict) {
+  Flags flags;
+  flags.define("verbose", "false", "v");
+  for (const char* token : {"1", "true", "yes", "on"}) {
+    Flags f;
+    f.define("verbose", "false", "v");
+    const std::string value = std::string("--verbose=") + token;
+    const char* argv[] = {"prog", value.c_str()};
+    ASSERT_TRUE(f.parse(2, argv));
+    EXPECT_TRUE(f.get_bool("verbose")) << token;
+  }
+  for (const char* token : {"0", "false", "no", "off"}) {
+    Flags f;
+    f.define("verbose", "true", "v");
+    const std::string value = std::string("--verbose=") + token;
+    const char* argv[] = {"prog", value.c_str()};
+    ASSERT_TRUE(f.parse(2, argv));
+    EXPECT_FALSE(f.get_bool("verbose")) << token;
+  }
+  // A typo used to silently read as false; now it throws.
+  for (const char* token : {"ture", "2", "", "TRUE "}) {
+    Flags f;
+    f.define("verbose", "false", "v");
+    const std::string value = std::string("--verbose=") + token;
+    const char* argv[] = {"prog", value.c_str()};
+    ASSERT_TRUE(f.parse(2, argv));
+    EXPECT_THROW(f.get_bool("verbose"), std::invalid_argument) << token;
+  }
+}
+
 TEST(Flags, DoubleListRejectsBadElements) {
   Flags flags;
   flags.define("sweep", "1,2x,4", "s");
@@ -267,9 +316,25 @@ TEST(TimeSeries, RestorationAucMatchesMeanOfFractions) {
   EXPECT_DOUBLE_EQ(restoration_auc({0.0, 0.0}, 4.0), 0.0);
 }
 
-TEST(TimeSeries, RestorationAucEmptyOrDegenerateScoresOne) {
-  EXPECT_DOUBLE_EQ(restoration_auc({}, 4.0), 1.0);
-  EXPECT_DOUBLE_EQ(restoration_auc({1.0}, 0.0), 1.0);
+TEST(TimeSeries, RestorationAucEmptyOrDegenerateScoresZero) {
+  // Degenerate input must not read as "fully restored" — an empty series is
+  // what a failed solve produces, and scoring it 1.0 would mask the failure
+  // in a netrecd service response.
+  EXPECT_DOUBLE_EQ(restoration_auc({}, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(restoration_auc({1.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(restoration_auc({1.0}, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(restoration_auc({}, 0.0), 0.0);
+}
+
+TEST(TimeSeries, StepsToFractionDegenerateInput) {
+  // Empty series: never reached -> size + 1 sentinel (== 1).
+  EXPECT_EQ(steps_to_fraction({}, 4.0, 0.5), 1u);
+  // Non-positive total: the target is <= 0, so the first entry >= 0
+  // trivially reaches it — the sentinel contract still holds.
+  EXPECT_EQ(steps_to_fraction({0.0, 1.0}, 0.0, 0.5), 1u);
+  EXPECT_EQ(steps_to_fraction({0.0}, -4.0, 0.5), 1u);
+  // Zero fraction is reached by any non-negative first measurement.
+  EXPECT_EQ(steps_to_fraction({0.0, 1.0}, 4.0, 0.0), 1u);
 }
 
 TEST(TimeSeries, StepsToFractionFindsFirstCrossing) {
