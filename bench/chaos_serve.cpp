@@ -1,0 +1,421 @@
+// chaos_serve: availability and identity under injected faults.
+//
+// Spawns an in-process serve::Server, precomputes the expected plan bytes
+// for a deterministic scenario set (full ISP solves AND the heuristic
+// fallback each scenario degrades to), then sweeps a list of fault rates.
+// At each rate the util::fault registry is re-armed with a spec scaled to
+// the rate — dropped reads/writes, forced cache misses and dropped
+// inserts, injected solve deadlines (degraded responses), recoverable
+// pool-task faults (503s) and periodic worker-killing engine crashes —
+// and a fleet of retrying serve::Clients drives /v1/plan.
+//
+// Per rate the bench records:
+//   availability      requests answered 2xx after client retries
+//   degraded_rate     200s served by the heuristic fallback
+//   transient_errors  resets/503s absorbed by retries along the way
+//   worker_restarts   supervisor respawns during the level
+//   identity_ok       every non-degraded 200 bit-identical to a direct
+//                     solve, every degraded 200 bit-identical to the
+//                     heuristic fallback plan
+//
+// The daemon must survive the whole sweep: after the last level the bench
+// disarms every site and requires a clean /v1/health round-trip plus a
+// clean stop().  Exit is non-zero on any identity violation or on a dead
+// server.
+//
+// --port targets an externally started netrecd instead (the CI smoke job
+// arms that daemon's sites via --faults); the bench then runs a single
+// level without arming anything locally and reads worker_restarts from
+// /v1/metrics.
+//
+// Output: table + --json (BENCH_chaos.json).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/http.hpp"
+#include "serve/preload.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netrec;
+
+struct Scenario {
+  serve::PlanRequest request;
+  std::string body;                // wire request
+  std::string expected_full;       // direct full-solve payload bytes
+  std::string expected_degraded;   // heuristic-fallback payload bytes
+  std::string fingerprint;
+};
+
+/// Deterministic damage scenarios (same derivation as load_serve).
+std::vector<Scenario> make_scenarios(const core::RecoveryProblem& problem,
+                                     std::size_t count,
+                                     std::size_t damage_nodes,
+                                     std::size_t damage_edges,
+                                     std::uint64_t seed) {
+  std::vector<Scenario> scenarios(count);
+  util::Rng rng(seed);
+  for (std::size_t s = 0; s < count; ++s) {
+    serve::PlanRequest& request = scenarios[s].request;
+    for (std::size_t i = 0; i < damage_nodes; ++i) {
+      request.broken_nodes.push_back(static_cast<graph::NodeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(problem.graph.num_nodes()) - 1)));
+    }
+    for (std::size_t i = 0; i < damage_edges; ++i) {
+      request.broken_edges.push_back(static_cast<graph::EdgeId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(problem.graph.num_edges()) - 1)));
+    }
+    std::sort(request.broken_nodes.begin(), request.broken_nodes.end());
+    request.broken_nodes.erase(
+        std::unique(request.broken_nodes.begin(), request.broken_nodes.end()),
+        request.broken_nodes.end());
+    std::sort(request.broken_edges.begin(), request.broken_edges.end());
+    request.broken_edges.erase(
+        std::unique(request.broken_edges.begin(), request.broken_edges.end()),
+        request.broken_edges.end());
+
+    util::Json body = util::Json::object();
+    util::Json nodes = util::Json::array();
+    for (graph::NodeId n : request.broken_nodes) {
+      nodes.push_back(static_cast<double>(n));
+    }
+    util::Json edges = util::Json::array();
+    for (graph::EdgeId e : request.broken_edges) {
+      edges.push_back(static_cast<double>(e));
+    }
+    body.set("broken_nodes", std::move(nodes));
+    body.set("broken_edges", std::move(edges));
+    scenarios[s].body = body.dump();
+    scenarios[s].fingerprint = serve::fingerprint(request);
+  }
+  return scenarios;
+}
+
+/// Extracts the verbatim "result" bytes (see load_serve for the rationale).
+bool extract_result_bytes(const std::string& response, std::string& out) {
+  static const std::string kPrefix = "{\"result\":";
+  static const std::string kMeta = ",\"meta\":{\"fingerprint\":";
+  if (response.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t meta = response.rfind(kMeta);
+  if (meta == std::string::npos || meta < kPrefix.size()) return false;
+  out = response.substr(kPrefix.size(), meta - kPrefix.size());
+  return true;
+}
+
+/// Fault spec for one sweep level.  Every serving-path site is armed,
+/// scaled so the *per-request* failure probability stays in the same ball
+/// park as `rate` even though a request crosses several sites; the
+/// engine-crash site uses a deterministic every<N> trigger so each
+/// non-zero level provokes worker respawns.
+std::string spec_for_rate(double rate) {
+  char buf[256];
+  // engine.solve counts *solves*, and most requests are cache hits: the
+  // site's traffic is roughly rate * requests (the forced cache misses),
+  // so the crash period must be short for every non-zero level to provoke
+  // respawns.  Re-arming at each level resets the hit counters.
+  std::snprintf(buf, sizeof(buf),
+                "serve.recv=p%g,serve.send=p%g,serve.cache.find=p%g,"
+                "serve.cache.insert=p%g,isp.deadline=p%g,pool.task=p%g,"
+                "engine.solve=every4",
+                rate / 2.0, rate / 2.0, rate, rate, rate, rate / 4.0);
+  return buf;
+}
+
+struct ChaosLevel {
+  double rate = 0.0;
+  std::size_t requests = 0;
+  std::size_t ok = 0;        // 2xx after retries
+  std::size_t degraded = 0;  // of ok, served by the heuristic fallback
+  std::size_t failed = 0;    // no 2xx within the retry budget
+  std::size_t transient_errors = 0;
+  std::uint64_t worker_restarts = 0;  // during this level
+  bool identity_ok = true;
+
+  double availability() const {
+    return requests == 0
+               ? 1.0
+               : static_cast<double>(ok) / static_cast<double>(requests);
+  }
+  double degraded_rate() const {
+    return ok == 0 ? 0.0
+                   : static_cast<double>(degraded) / static_cast<double>(ok);
+  }
+};
+
+/// Drives one level: `clients` threads x `requests_per_client` requests
+/// through retrying Clients, classifying and identity-checking every
+/// response.
+ChaosLevel run_level(const std::string& host, int port,
+                     const std::vector<Scenario>& scenarios, double rate,
+                     std::size_t clients, std::size_t requests_per_client,
+                     std::mutex& failure_mutex, std::string& first_failure) {
+  ChaosLevel level;
+  level.rate = rate;
+  std::vector<std::size_t> ok(clients, 0);
+  std::vector<std::size_t> degraded(clients, 0);
+  std::vector<std::size_t> failed(clients, 0);
+  std::vector<std::size_t> transients(clients, 0);
+  std::vector<bool> identity(clients, true);
+
+  const auto note_failure = [&](const std::string& message) {
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    if (first_failure.empty()) first_failure = message;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ClientOptions copt;
+      copt.max_attempts = 6;  // chaos levels need headroom over the default
+      copt.initial_backoff_ms = 5.0;
+      copt.max_backoff_ms = 100.0;
+      copt.jitter_seed = 0xc4a05u + c;
+      serve::Client client(host, port, copt);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const Scenario& scenario = scenarios[(c + i) % scenarios.size()];
+        const serve::ClientResult result =
+            client.request("POST", "/v1/plan", scenario.body);
+        transients[c] += static_cast<std::size_t>(result.transient_errors);
+        if (result.response.status != 200) {
+          ++failed[c];
+          note_failure(
+              result.response.status == 0
+                  ? "transport exhausted: " + result.error
+                  : "status " + std::to_string(result.response.status) +
+                        " after retries, scenario " + scenario.fingerprint);
+          continue;
+        }
+        ++ok[c];
+        const std::string& response = result.response.body;
+        const bool is_degraded =
+            response.find("\"degraded\":true") != std::string::npos;
+        if (is_degraded) ++degraded[c];
+        std::string result_bytes;
+        const std::string& expected =
+            is_degraded ? scenario.expected_degraded : scenario.expected_full;
+        if (!extract_result_bytes(response, result_bytes) ||
+            result_bytes != expected) {
+          identity[c] = false;
+          note_failure("scenario " + scenario.fingerprint + " (" +
+                       (is_degraded ? "degraded" : "full") +
+                       "): response/result byte mismatch");
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::size_t c = 0; c < clients; ++c) {
+    level.requests += requests_per_client;
+    level.ok += ok[c];
+    level.degraded += degraded[c];
+    level.failed += failed[c];
+    level.transient_errors += transients[c];
+    if (!identity[c]) level.identity_ok = false;
+  }
+  return level;
+}
+
+/// worker_restarts as reported by the server itself (/v1/metrics), used in
+/// external mode where the Server object is out of reach.
+std::uint64_t metrics_worker_restarts(const std::string& host, int port) {
+  serve::Client client(host, port);
+  const serve::ClientResult result = client.request("GET", "/v1/metrics");
+  if (result.response.status != 200) return 0;
+  try {
+    const util::Json metrics = util::Json::parse(result.response.body);
+    return static_cast<std::uint64_t>(
+        metrics.at("server").at("worker_restarts").as_number());
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+int run(int argc, char** argv) {
+  util::Flags flags;
+  serve::declare_preload_flags(flags);
+  flags.define("host", "127.0.0.1", "server address");
+  flags.define("port", "0",
+               "target an external netrecd (single level, no local arming); "
+               "0 = spawn an in-process server and sweep --rates");
+  flags.define("rates", "0,0.02,0.05,0.1",
+               "fault rates to sweep (in-process mode)");
+  flags.define("clients", "8", "concurrent client threads per level");
+  flags.define("requests", "24", "requests per client per level");
+  flags.define("scenarios", "6", "deterministic damage scenarios");
+  flags.define("damage-nodes", "3", "broken nodes drawn per scenario");
+  flags.define("damage-edges", "2", "broken edges drawn per scenario");
+  flags.define("seed", "42", "scenario RNG seed");
+  flags.define("fault-seed", "7", "fault-injection decision seed");
+  flags.define("workers", "4", "in-process server worker threads");
+  flags.define("json", "BENCH_chaos.json", "output path ('' = skip)");
+  flags.define("verbose", "false", "log server diagnostics to stderr");
+  if (!bench::parse_or_usage(flags, argc, argv)) return 2;
+
+  const core::RecoveryProblem problem = serve::build_preloaded_problem(flags);
+  std::printf("preloaded: %s\n",
+              serve::describe_preload(problem, flags).c_str());
+
+  std::vector<Scenario> scenarios = make_scenarios(
+      problem, static_cast<std::size_t>(flags.get_int("scenarios")),
+      static_cast<std::size_t>(flags.get_int("damage-nodes")),
+      static_cast<std::size_t>(flags.get_int("damage-edges")),
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+
+  // Both identity baselines are computed BEFORE any fault is armed: the
+  // full serial solve every healthy response must match, and the heuristic
+  // fallback every degraded response must match.
+  {
+    serve::PlanningEngine direct(problem);
+    for (Scenario& scenario : scenarios) {
+      scenario.expected_full = direct.solve(scenario.request).payload.dump();
+      scenario.expected_degraded =
+          direct.heuristic_plan(scenario.request).dump();
+    }
+    std::printf("baselines: %zu scenarios (full + degraded)\n",
+                scenarios.size());
+  }
+
+  std::string host = flags.get("host");
+  int port = flags.get_int("port");
+  const bool external = port != 0;
+  std::unique_ptr<serve::Server> server;
+  if (!external) {
+    serve::ServerOptions options;
+    options.workers = static_cast<std::size_t>(flags.get_int("workers"));
+    server = std::make_unique<serve::Server>(problem, options);
+    server->start();
+    host = "127.0.0.1";
+    port = server->port();
+    std::printf("in-process server on port %d (%zu workers)\n", port,
+                options.workers);
+  }
+
+  std::vector<double> rates =
+      external ? std::vector<double>{0.0} : flags.get_double_list("rates");
+  const auto clients = static_cast<std::size_t>(flags.get_int("clients"));
+  const auto requests_per_client =
+      static_cast<std::size_t>(flags.get_int("requests"));
+  const auto fault_seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+
+  std::mutex failure_mutex;
+  std::string first_failure;
+  std::vector<ChaosLevel> levels;
+  std::uint64_t restarts_before =
+      external ? metrics_worker_restarts(host, port)
+               : server->worker_restarts();
+
+  std::printf("\n%8s %9s %13s %10s %8s %11s %9s %9s\n", "rate", "requests",
+              "availability", "degraded", "failed", "transients", "restarts",
+              "identity");
+  for (double rate : rates) {
+    if (!external) {
+      util::fault::disarm_all();
+      if (rate > 0.0) util::fault::arm(spec_for_rate(rate), fault_seed);
+    }
+    ChaosLevel level =
+        run_level(host, port, scenarios, rate, clients, requests_per_client,
+                  failure_mutex, first_failure);
+    const std::uint64_t restarts_after =
+        external ? metrics_worker_restarts(host, port)
+                 : server->worker_restarts();
+    level.worker_restarts = restarts_after - restarts_before;
+    restarts_before = restarts_after;
+    std::printf("%8.3f %9zu %12.1f%% %9.1f%% %8zu %11zu %9llu %9s\n",
+                level.rate, level.requests, 100.0 * level.availability(),
+                100.0 * level.degraded_rate(), level.failed,
+                level.transient_errors,
+                static_cast<unsigned long long>(level.worker_restarts),
+                level.identity_ok ? "OK" : "FAIL");
+    levels.push_back(level);
+  }
+  if (!external) util::fault::disarm_all();
+
+  // The daemon must have survived the whole sweep: clean health round-trip
+  // with every site disarmed, then (in-process) a clean stop().
+  bool alive = false;
+  {
+    serve::Client client(host, port);
+    const serve::ClientResult health = client.request("GET", "/v1/health");
+    alive = health.response.status == 200;
+  }
+  std::uint64_t total_restarts = 0;
+  for (const ChaosLevel& level : levels) {
+    total_restarts += level.worker_restarts;
+  }
+  if (server) {
+    server->stop();
+    server.reset();
+  }
+
+  bool identity_ok = true;
+  for (const ChaosLevel& level : levels) {
+    identity_ok = identity_ok && level.identity_ok;
+  }
+  std::printf("\nserver alive after sweep: %s\n", alive ? "yes" : "NO");
+  std::printf("worker restarts: %llu\n",
+              static_cast<unsigned long long>(total_restarts));
+  std::printf("identity check: %s\n",
+              identity_ok
+                  ? "OK — healthy responses match direct solves, degraded "
+                    "responses match the heuristic fallback"
+                  : ("FAILED — " + first_failure).c_str());
+
+  const std::string json_path = flags.get("json");
+  if (!json_path.empty()) {
+    util::Json out = util::Json::object();
+    out.set("bench", "chaos_serve");
+    out.set("identity_ok", identity_ok);
+    out.set("server_alive", alive);
+    out.set("worker_restarts", total_restarts);
+    util::Json config = util::Json::object();
+    config.set("topology", flags.get("topology"));
+    config.set("scenarios", scenarios.size());
+    config.set("clients", clients);
+    config.set("requests_per_client", requests_per_client);
+    config.set("fault_seed", fault_seed);
+    config.set("external_server", external);
+    out.set("config", std::move(config));
+    util::Json series = util::Json::array();
+    for (const ChaosLevel& level : levels) {
+      util::Json entry = util::Json::object();
+      entry.set("rate", level.rate);
+      entry.set("requests", level.requests);
+      entry.set("ok", level.ok);
+      entry.set("failed", level.failed);
+      entry.set("availability", level.availability());
+      entry.set("degraded", level.degraded);
+      entry.set("degraded_rate", level.degraded_rate());
+      entry.set("transient_errors", level.transient_errors);
+      entry.set("worker_restarts", level.worker_restarts);
+      entry.set("identity_ok", level.identity_ok);
+      series.push_back(std::move(entry));
+    }
+    out.set("levels", std::move(series));
+    util::write_json_file(json_path, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return identity_ok && alive ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return netrec::bench::main_guard(run, argc, argv);
+}

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "serve/client.hpp"
 #include "serve/engine.hpp"
 #include "serve/http.hpp"
 #include "serve/preload.hpp"
@@ -117,6 +118,9 @@ struct LevelResult {
   std::size_t clients = 0;
   std::size_t requests = 0;
   std::size_t errors = 0;
+  /// Transport failures / 503s absorbed by client retries (the request
+  /// itself may still have succeeded on a later attempt).
+  std::size_t transient_errors = 0;
   std::size_t cache_hits = 0;
   double wall_seconds = 0.0;
   std::vector<double> latencies;
@@ -137,8 +141,13 @@ struct LevelResult {
 };
 
 /// Runs one closed-loop level: `clients` threads, each issuing
-/// `requests_per_client` requests round-robin over the scenarios, every
-/// response identity-checked against the direct-solve payload.
+/// `requests_per_client` requests round-robin over the scenarios through a
+/// retrying serve::Client, every 200 identity-checked against the
+/// direct-solve payload.  Transient failures (connection resets, 503s) are
+/// *recorded*, not fatal: the client retries with backoff and only a
+/// request that exhausts its attempts counts as an error — a byte mismatch
+/// on a successful response is the only thing that fails the identity
+/// check.
 LevelResult run_level(const std::string& host, int port,
                       const std::vector<Scenario>& scenarios,
                       std::size_t clients, std::size_t requests_per_client,
@@ -148,46 +157,55 @@ LevelResult run_level(const std::string& host, int port,
   level.clients = clients;
   std::vector<std::vector<double>> latencies(clients);
   std::vector<std::size_t> errors(clients, 0);
+  std::vector<std::size_t> transients(clients, 0);
   std::vector<std::size_t> hits(clients, 0);
+
+  const auto note_failure = [&](const std::string& message) {
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    if (first_failure.empty()) first_failure = message;
+  };
 
   const double start = now_seconds();
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      serve::ClientOptions copt;
+      copt.jitter_seed = 0x10adu + c;  // deterministic per-thread stream
+      serve::Client client(host, port, copt);
       for (std::size_t i = 0; i < requests_per_client; ++i) {
         // Stagger clients across scenarios so every level mixes cache hits
         // with fresh solves.
         const Scenario& scenario =
             scenarios[(c + i) % scenarios.size()];
         const double t0 = now_seconds();
-        std::string response;
-        int status = 0;
-        try {
-          status = serve::http_request(host, port, "POST", "/v1/plan",
-                                       scenario.body, response);
-        } catch (const std::exception& e) {
+        const serve::ClientResult result =
+            client.request("POST", "/v1/plan", scenario.body);
+        transients[c] += static_cast<std::size_t>(result.transient_errors);
+        if (result.response.status == 0) {
+          // Every attempt failed at transport level: an availability gap,
+          // not an identity violation.
           ++errors[c];
-          std::lock_guard<std::mutex> lock(failure_mutex);
-          if (first_failure.empty()) {
-            first_failure = std::string("transport: ") + e.what();
-          }
-          identity_ok.store(false);
+          note_failure("transport (after " +
+                       std::to_string(result.attempts) +
+                       " attempts): " + result.error);
           continue;
         }
         latencies[c].push_back(now_seconds() - t0);
+        const std::string& response = result.response.body;
         std::string result_bytes;
-        if (status != 200 ||
-            !extract_result_bytes(response, result_bytes) ||
+        if (result.response.status != 200) {
+          ++errors[c];
+          note_failure("status " + std::to_string(result.response.status) +
+                       ", scenario " + scenario.fingerprint);
+          continue;
+        }
+        if (!extract_result_bytes(response, result_bytes) ||
             result_bytes != scenario.expected) {
           ++errors[c];
           identity_ok.store(false);
-          std::lock_guard<std::mutex> lock(failure_mutex);
-          if (first_failure.empty()) {
-            first_failure = "status " + std::to_string(status) +
-                            ", scenario " + scenario.fingerprint +
-                            ": response/result mismatch";
-          }
+          note_failure("scenario " + scenario.fingerprint +
+                       ": response/result byte mismatch");
           continue;
         }
         if (response.find("\"cached\":true") != std::string::npos) ++hits[c];
@@ -200,6 +218,7 @@ LevelResult run_level(const std::string& host, int port,
   for (std::size_t c = 0; c < clients; ++c) {
     level.requests += requests_per_client;
     level.errors += errors[c];
+    level.transient_errors += transients[c];
     level.cache_hits += hits[c];
     level.latencies.insert(level.latencies.end(), latencies[c].begin(),
                            latencies[c].end());
@@ -263,12 +282,12 @@ int run(int argc, char** argv) {
     const double t0 = now_seconds();
     std::size_t solved = 0;
     for (Scenario& scenario : shared) {
-      scenario.expected = direct.solve(scenario.request).dump();
+      scenario.expected = direct.solve(scenario.request).payload.dump();
       ++solved;
     }
     for (std::vector<Scenario>& level : per_level) {
       for (Scenario& scenario : level) {
-        scenario.expected = direct.solve(scenario.request).dump();
+        scenario.expected = direct.solve(scenario.request).payload.dump();
         ++solved;
       }
     }
@@ -284,6 +303,16 @@ int run(int argc, char** argv) {
     options.workers = static_cast<std::size_t>(flags.get_int("workers"));
     options.cache_capacity =
         static_cast<std::size_t>(flags.get_int("cache"));
+    // Size admission control to the sweep's peak concurrency: this bench
+    // measures serving latency under load the operator provisioned for;
+    // shedding behavior is chaos_serve's subject.
+    double peak_clients = 0.0;
+    for (double level : client_levels) {
+      peak_clients = std::max(peak_clients, level);
+    }
+    options.queue_budget =
+        2 * std::max<std::size_t>(options.workers,
+                                  static_cast<std::size_t>(peak_clients));
     server = std::make_unique<serve::Server>(problem, options);
     server->start();
     host = "127.0.0.1";
@@ -299,8 +328,9 @@ int run(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("requests"));
 
   std::vector<LevelResult> levels;
-  std::printf("\n%8s %9s %12s %9s %9s %7s %7s\n", "clients", "requests",
-              "plans/sec", "p50 ms", "p99 ms", "hits", "errors");
+  std::printf("\n%8s %9s %12s %9s %9s %7s %7s %10s\n", "clients", "requests",
+              "plans/sec", "p50 ms", "p99 ms", "hits", "errors",
+              "transients");
   for (std::size_t li = 0; li < client_levels.size(); ++li) {
     const auto clients = static_cast<std::size_t>(client_levels[li]);
     if (clients == 0) continue;
@@ -310,10 +340,10 @@ int run(int argc, char** argv) {
     LevelResult level =
         run_level(host, port, scenarios, clients, requests_per_client,
                   identity_ok, failure_mutex, first_failure);
-    std::printf("%8zu %9zu %12.1f %9.2f %9.2f %7zu %7zu\n", level.clients,
-                level.requests, level.plans_per_sec(),
+    std::printf("%8zu %9zu %12.1f %9.2f %9.2f %7zu %7zu %10zu\n",
+                level.clients, level.requests, level.plans_per_sec(),
                 level.percentile_ms(0.50), level.percentile_ms(0.99),
-                level.cache_hits, level.errors);
+                level.cache_hits, level.errors, level.transient_errors);
     levels.push_back(std::move(level));
   }
 
@@ -345,6 +375,7 @@ int run(int argc, char** argv) {
       entry.set("clients", level.clients);
       entry.set("requests", level.requests);
       entry.set("errors", level.errors);
+      entry.set("transient_errors", level.transient_errors);
       entry.set("plans_per_sec", level.plans_per_sec());
       entry.set("p50_ms", level.percentile_ms(0.50));
       entry.set("p99_ms", level.percentile_ms(0.99));

@@ -29,6 +29,7 @@
 #include "graph/view_cache.hpp"
 #include "mcf/routing.hpp"
 #include "mcf/split.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -871,6 +872,12 @@ RecoverySolution IspSolver::solve() {
   }
 
   while (stats_.iterations < opt_.max_iterations) {
+    if ((opt_.deadline != nullptr && opt_.deadline->expired()) ||
+        FAULT_POINT("isp.deadline")) {
+      throw DeadlineExceeded("isp: solve deadline exceeded after " +
+                             std::to_string(stats_.iterations) +
+                             " iterations");
+    }
     ++stats_.iterations;
     if (opt_.enable_prune) {
       engine.prune_phase();

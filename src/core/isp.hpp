@@ -21,6 +21,7 @@
 // on adversarial input.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,17 @@
 #include "core/problem.hpp"
 #include "mcf/path_lp.hpp"
 #include "mcf/path_lp_session.hpp"
+#include "util/timer.hpp"
 
 namespace netrec::core {
+
+/// Thrown by IspSolver::solve when IspOptions::deadline expires (or the
+/// "isp.deadline" fault site fires).  serve::PlanningEngine catches it and
+/// degrades to the heuristic fallback plan instead of hanging the worker.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Which graph-query machinery the ISP engine drives its inner loop with.
 enum class IspBackend {
@@ -89,6 +99,12 @@ struct IspOptions {
   /// pool, is the all-serial reference; kLegacy ignores both knobs.
   util::ThreadPool* pool = nullptr;
   std::size_t solve_threads = 1;
+  /// Cooperative solve deadline, checked once at the top of every ISP
+  /// iteration (the phases themselves run to completion, so the overshoot
+  /// is one iteration's work).  Non-owning — the caller's Deadline must
+  /// outlive the solve; null means no limit.  On expiry solve() throws
+  /// DeadlineExceeded.
+  const util::Deadline* deadline = nullptr;
 };
 
 /// One algorithm action, for tracing/examples.

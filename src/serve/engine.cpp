@@ -3,11 +3,14 @@
 #include <memory>
 #include <utility>
 
+#include "heuristics/baselines.hpp"
 #include "heuristics/schedule.hpp"
 #include "recovery/dynamics.hpp"
 #include "recovery/policies.hpp"
 #include "recovery/timeline.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace netrec::serve {
 
@@ -39,6 +42,22 @@ class ScopedDamage {
   const PlanRequest& request_;
 };
 
+/// Clears the engine's deadline pointer when the solve leaves scope — the
+/// Deadline it points at is a stack local of solve().
+class ScopedDeadline {
+ public:
+  ScopedDeadline(core::IspOptions& isp, const util::Deadline* deadline)
+      : isp_(isp) {
+    isp_.deadline = deadline;
+  }
+  ~ScopedDeadline() { isp_.deadline = nullptr; }
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  core::IspOptions& isp_;
+};
+
 util::Json repair_entry(const char* kind, std::int32_t id,
                         const std::string& label) {
   util::Json entry = util::Json::object();
@@ -48,36 +67,14 @@ util::Json repair_entry(const char* kind, std::int32_t id,
   return entry;
 }
 
-}  // namespace
-
-PlanningEngine::PlanningEngine(const core::RecoveryProblem& baseline,
-                               EngineOptions options)
-    : problem_(baseline), opt_(std::move(options)) {
-  // The request is the complete damage state; any damage the loaded
-  // topology carried would silently compound every plan.
-  for (std::size_t n = 0; n < problem_.graph.num_nodes(); ++n) {
-    problem_.graph.set_node_broken(static_cast<graph::NodeId>(n), false);
-  }
-  for (std::size_t e = 0; e < problem_.graph.num_edges(); ++e) {
-    problem_.graph.set_edge_broken(static_cast<graph::EdgeId>(e), false);
-  }
-  // One warm pool for the engine's lifetime instead of a spawn per solve.
-  pool_ = util::ThreadPool::acquire(owned_pool_, opt_.solve_threads, nullptr);
-  opt_.isp.pool = pool_;
-  opt_.isp.solve_threads = opt_.solve_threads;
-}
-
-util::Json PlanningEngine::solve(const PlanRequest& request) {
-  ScopedDamage damage(problem_.graph, request);
-  return request.mode == PlanRequest::Mode::kIsp ? solve_isp(request)
-                                                 : solve_timeline(request);
-}
-
-util::Json PlanningEngine::solve_isp(const PlanRequest&) {
-  core::IspSolver solver(problem_, opt_.isp);
-  const core::RecoverySolution solution = solver.solve();
+/// Shared isp-shaped payload builder: the full ISP solve and the degraded
+/// SRT fallback emit the same schema, differing only in the solution they
+/// schedule — which is what makes the degraded differential (response ==
+/// heuristic_plan byte-identically) checkable at all.
+util::Json isp_payload(const core::RecoveryProblem& problem,
+                       const core::RecoverySolution& solution) {
   const heuristics::RecoverySchedule schedule =
-      heuristics::schedule_repairs(problem_, solution);
+      heuristics::schedule_repairs(problem, solution);
 
   util::Json repairs = util::Json::array();
   for (const heuristics::ScheduleStep& step : schedule.steps) {
@@ -111,6 +108,63 @@ util::Json PlanningEngine::solve_isp(const PlanRequest&) {
   out.set("repairs", std::move(repairs));
   out.set("restoration", std::move(restoration));
   return out;
+}
+
+}  // namespace
+
+PlanningEngine::PlanningEngine(const core::RecoveryProblem& baseline,
+                               EngineOptions options)
+    : problem_(baseline), opt_(std::move(options)) {
+  // The request is the complete damage state; any damage the loaded
+  // topology carried would silently compound every plan.
+  for (std::size_t n = 0; n < problem_.graph.num_nodes(); ++n) {
+    problem_.graph.set_node_broken(static_cast<graph::NodeId>(n), false);
+  }
+  for (std::size_t e = 0; e < problem_.graph.num_edges(); ++e) {
+    problem_.graph.set_edge_broken(static_cast<graph::EdgeId>(e), false);
+  }
+  // One warm pool for the engine's lifetime instead of a spawn per solve.
+  pool_ = util::ThreadPool::acquire(owned_pool_, opt_.solve_threads, nullptr);
+  opt_.isp.pool = pool_;
+  opt_.isp.solve_threads = opt_.solve_threads;
+}
+
+PlanOutcome PlanningEngine::solve(const PlanRequest& request) {
+  if (FAULT_POINT("engine.solve")) {
+    // Worker-killing crash: InjectedCrash is not a std::exception, so it
+    // unwinds straight through the request path to the worker loop and
+    // exercises the supervisor's respawn.
+    throw util::fault::InjectedCrash{"engine.solve"};
+  }
+  ScopedDamage damage(problem_.graph, request);
+  const util::Deadline deadline(opt_.deadline_ms / 1e3);  // <=0 disables
+  ScopedDeadline scoped(opt_.isp, opt_.deadline_ms > 0.0 ? &deadline
+                                                         : nullptr);
+  try {
+    util::Json payload = request.mode == PlanRequest::Mode::kIsp
+                             ? solve_isp(request)
+                             : solve_timeline(request);
+    return {std::move(payload), false};
+  } catch (const core::DeadlineExceeded&) {
+    // Graceful degradation: the damage scope is still active, so the
+    // fallback plans against exactly the requested state.
+    return {heuristic_plan_damaged(), true};
+  }
+}
+
+util::Json PlanningEngine::heuristic_plan(const PlanRequest& request) {
+  ScopedDamage damage(problem_.graph, request);
+  return heuristic_plan_damaged();
+}
+
+util::Json PlanningEngine::heuristic_plan_damaged() {
+  return isp_payload(problem_,
+                     heuristics::solve_srt(problem_, opt_.isp.lp));
+}
+
+util::Json PlanningEngine::solve_isp(const PlanRequest&) {
+  core::IspSolver solver(problem_, opt_.isp);
+  return isp_payload(problem_, solver.solve());
 }
 
 util::Json PlanningEngine::solve_timeline(const PlanRequest& request) {

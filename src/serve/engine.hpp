@@ -20,6 +20,14 @@
 // engines (or one engine twice) produce byte-identical dumps for one
 // request.  That property is what the plan cache, the load-generator
 // identity check and the concurrency test suite all assert.
+//
+// Robustness (PR 9): a nonzero deadline_ms arms a cooperative per-request
+// deadline inside the ISP iteration loop.  On expiry (or the "isp.deadline"
+// fault site) the engine degrades instead of hanging: it returns the SRT
+// heuristic fallback plan with PlanOutcome::degraded set, which the server
+// tags "degraded": true in meta and never caches.  The degraded payload is
+// itself deterministic — bit-identical to heuristic_plan(request) — so the
+// chaos bench can identity-check degraded responses too.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +48,17 @@ struct EngineOptions {
   /// Intra-solve parallelism per request (PR 7 contract: bit-identical to
   /// serial at any count).  1 = serial, 0 = auto.
   std::size_t solve_threads = 1;
+  /// Per-request solve deadline in milliseconds; 0 = unlimited.  Expiry
+  /// degrades to the heuristic fallback plan instead of failing.
+  double deadline_ms = 0.0;
+};
+
+/// What one solve produced: the payload bytes-to-be, and whether they are
+/// the degraded (deadline-hit) heuristic fallback rather than the full
+/// solve.  Degraded payloads must never enter the plan cache.
+struct PlanOutcome {
+  util::Json payload;
+  bool degraded = false;
 };
 
 class PlanningEngine {
@@ -50,14 +69,23 @@ class PlanningEngine {
   /// Solves the request against the baseline topology and returns the
   /// deterministic response payload (the "result" object of the wire
   /// response).  Damage flags are applied before and restored after the
-  /// solve, also on exception.
-  util::Json solve(const PlanRequest& request);
+  /// solve, also on exception.  When the per-request deadline expires the
+  /// outcome carries the heuristic fallback plan with degraded=true.
+  PlanOutcome solve(const PlanRequest& request);
+
+  /// The deadline-degradation fallback: SRT repair plan + marginal-gain
+  /// schedule, in the same payload shape as a full isp solve.  Public so
+  /// tests and the chaos bench can compute the expected degraded payload
+  /// directly (the differential: degraded response == this, byte for byte).
+  util::Json heuristic_plan(const PlanRequest& request);
 
   const core::RecoveryProblem& problem() const { return problem_; }
 
  private:
   util::Json solve_isp(const PlanRequest& request);
   util::Json solve_timeline(const PlanRequest& request);
+  /// heuristic_plan minus the damage scoping (callers hold ScopedDamage).
+  util::Json heuristic_plan_damaged();
 
   core::RecoveryProblem problem_;
   EngineOptions opt_;

@@ -212,11 +212,21 @@ bool read_http_request(int fd, HttpRequest& out) {
 
 bool write_http_response(int fd, int status, const std::string& content_type,
                          const std::string& body) {
+  return write_http_response(fd, status, content_type, body, {});
+}
+
+bool write_http_response(
+    int fd, int status, const std::string& content_type,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                      http_status_text(status) +
                      "\r\nContent-Type: " + content_type +
-                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
+                     "\r\nContent-Length: " + std::to_string(body.size());
+  for (const auto& [name, value] : extra_headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
   return send_all(fd, head.data(), head.size()) &&
          send_all(fd, body.data(), body.size());
 }
@@ -257,9 +267,9 @@ int bound_port(int fd) {
   return ntohs(addr.sin_port);
 }
 
-int http_request(const std::string& host, int port, const std::string& method,
-                 const std::string& target, const std::string& body,
-                 std::string& response_body) {
+HttpResponse http_fetch(const std::string& host, int port,
+                        const std::string& method, const std::string& target,
+                        const std::string& body) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket");
   const int one = 1;
@@ -314,16 +324,35 @@ int http_request(const std::string& host, int port, const std::string& method,
   if (header_end == std::string::npos) {
     throw std::runtime_error("http_request: malformed response");
   }
-  const std::string status_line =
-      response.substr(0, response.find('\n'));
+  const std::vector<std::string> lines =
+      header_lines(response.substr(0, header_end));
+  if (lines.empty()) {
+    throw std::runtime_error("http_request: empty response head");
+  }
   // "HTTP/1.1 NNN ...".
+  const std::string& status_line = lines.front();
   const std::size_t sp = status_line.find(' ');
   if (sp == std::string::npos || status_line.size() < sp + 4) {
     throw std::runtime_error("http_request: malformed status line");
   }
-  const int status = std::stoi(status_line.substr(sp + 1, 3));
-  response_body = response.substr(header_end + skip);
-  return status;
+  HttpResponse out;
+  out.status = std::stoi(status_line.substr(sp + 1, 3));
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) continue;  // tolerate junk headers
+    out.headers[lower(trim(lines[i].substr(0, colon)))] =
+        trim(lines[i].substr(colon + 1));
+  }
+  out.body = response.substr(header_end + skip);
+  return out;
+}
+
+int http_request(const std::string& host, int port, const std::string& method,
+                 const std::string& target, const std::string& body,
+                 std::string& response_body) {
+  HttpResponse response = http_fetch(host, port, method, target, body);
+  response_body = std::move(response.body);
+  return response.status;
 }
 
 }  // namespace netrec::serve

@@ -15,6 +15,8 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace netrec::serve {
 
@@ -51,6 +53,13 @@ bool read_http_request(int fd, HttpRequest& out);
 bool write_http_response(int fd, int status, const std::string& content_type,
                          const std::string& body);
 
+/// As above, with extra response headers ("Retry-After" on shed 503s).
+/// Names/values are emitted verbatim; callers must not include CR/LF.
+bool write_http_response(
+    int fd, int status, const std::string& content_type,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers);
+
 const char* http_status_text(int status);
 
 /// Binds and listens on host:port (port 0 = kernel-assigned); returns the
@@ -60,10 +69,22 @@ int listen_on(const std::string& host, int port, int backlog = 64);
 /// The actual bound port of a listening fd (resolves port-0 binds).
 int bound_port(int fd);
 
+/// A parsed one-shot client response: status, lower-cased headers, body.
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
 /// Blocking one-shot HTTP client for tests and the load generator: connects
-/// to host:port, sends the request, reads the full response.  Returns the
-/// status code and fills `response_body`; throws std::runtime_error on
-/// connection or protocol failure.
+/// to host:port, sends the request, reads and parses the full response
+/// (headers included, so callers can honor Retry-After).  Throws
+/// std::runtime_error on connection or protocol failure.
+HttpResponse http_fetch(const std::string& host, int port,
+                        const std::string& method, const std::string& target,
+                        const std::string& body);
+
+/// Status-and-body convenience wrapper over http_fetch.
 int http_request(const std::string& host, int port, const std::string& method,
                  const std::string& target, const std::string& body,
                  std::string& response_body);

@@ -2,11 +2,21 @@
 
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace netrec::serve {
 
 PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::shared_ptr<const std::string> PlanCache::find(const std::string& key) {
+  // Injected cache faults are fail-open: a forced miss (or a dropped
+  // insert below) costs a redundant solve, never correctness — determinism
+  // makes the fresh payload bit-identical to the lost cached one.
+  if (FAULT_POINT("serve.cache.find")) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return nullptr;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -20,6 +30,7 @@ std::shared_ptr<const std::string> PlanCache::find(const std::string& key) {
 
 void PlanCache::insert(const std::string& key, std::string payload) {
   if (capacity_ == 0) return;
+  if (FAULT_POINT("serve.cache.insert")) return;  // dropped insert
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {

@@ -13,6 +13,7 @@
 
 #include "serve/http.hpp"
 #include "serve/protocol.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -37,6 +38,12 @@ std::string format_latency_ms(double seconds) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
   return buf;
+}
+
+void set_socket_timeout(int fd, int option, int seconds) {
+  timeval timeout{};
+  timeout.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, option, &timeout, sizeof(timeout));
 }
 
 util::Json describe_problem(const core::RecoveryProblem& problem) {
@@ -72,18 +79,26 @@ Server::Server(core::RecoveryProblem baseline, ServerOptions options)
 
 Server::~Server() { stop(); }
 
+std::size_t Server::queue_budget() const {
+  return opt_.queue_budget > 0 ? opt_.queue_budget : 2 * opt_.workers;
+}
+
 void Server::start() {
   if (running_.exchange(true)) {
     throw std::logic_error("Server::start called twice");
   }
+  stopping_.store(false);
   listen_fd_ = listen_on(opt_.bind_address, opt_.port);
   port_ = bound_port(listen_fd_);
-  workers_.reserve(opt_.workers);
+  slots_ = std::vector<WorkerSlot>(opt_.workers);
   for (std::size_t i = 0; i < opt_.workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    slots_[i].thread = std::thread([this, i] { worker_loop(i); });
   }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
   NETREC_LOG(kInfo) << "netrecd listening on " << opt_.bind_address << ":"
-                    << port_ << " (" << opt_.workers << " workers)";
+                    << port_ << " (" << opt_.workers << " workers, queue "
+                    << queue_budget() << ")";
 }
 
 void Server::request_stop() {
@@ -102,47 +117,202 @@ void Server::wait() {
 void Server::stop() {
   if (!running_.load()) return;
   if (!stopping_.exchange(true)) {
-    // Unblock workers parked in accept(): shutdown makes pending and
-    // future accepts fail immediately; close releases the fd.
+    // Unblock the acceptor: shutdown makes pending and future accepts fail
+    // immediately; close releases the fd.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
   }
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Flush queued-but-unserved connections with 503 + Retry-After (their
+  // clients retry against the next instance) and wake every worker.
+  std::deque<int> flush;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    flush.swap(conn_queue_);
   }
-  workers_.clear();
+  queue_cv_.notify_all();
+  for (int fd : flush) {
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    refuse_connection(fd);
+  }
+
+  // Bounded grace: in-flight requests may finish normally; past the grace
+  // their sockets are force-shut so a stalled peer cannot wedge the joins
+  // below (blocked recv/send return immediately after shutdown()).
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    const auto all_idle = [this] {
+      for (const WorkerSlot& slot : slots_) {
+        if (slot.active_fd >= 0) return false;
+      }
+      return true;
+    };
+    if (!drained_cv_.wait_for(
+            lock, std::chrono::duration<double>(opt_.shutdown_grace_seconds),
+            all_idle)) {
+      NETREC_LOG(kWarn) << "serve: shutdown grace expired; force-closing "
+                           "in-flight connections";
+      for (WorkerSlot& slot : slots_) {
+        if (slot.active_fd >= 0) ::shutdown(slot.active_fd, SHUT_RDWR);
+      }
+    }
+  }
+
+  // Supervisor first: it joins crashed workers and only exits once no
+  // worker is marked dead, so the loop below never joins a thread the
+  // supervisor is also joining.
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+  for (WorkerSlot& slot : slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+  slots_.clear();
   listen_fd_ = -1;
   running_.store(false);
   request_stop();  // release wait()-ers even when stop() came first
 }
 
-void Server::worker_loop(std::size_t worker_index) {
-  // Each worker owns a warm engine for its whole lifetime: the expensive
-  // problem copy and thread-pool spin-up happen once, not per request.
-  PlanningEngine engine(baseline_, opt_.engine);
-  (void)worker_index;
+void Server::acceptor_loop() {
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (stopping_.load()) break;
       // Transient accept failures (ECONNABORTED, EMFILE...) should not
-      // kill the worker; anything persistent will just spin back here.
+      // kill the acceptor; anything persistent will just spin back here.
       continue;
     }
-    timeval timeout{};
-    timeout.tv_sec = opt_.receive_timeout_seconds;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    try {
-      handle_connection(fd, engine);
-    } catch (const std::exception& e) {
-      NETREC_LOG(kWarn) << "serve: dropping connection: " << e.what();
+    set_socket_timeout(fd, SO_RCVTIMEO, opt_.receive_timeout_seconds);
+    // SO_SNDTIMEO too: without it a stalled reader blocks send_all in the
+    // worker forever.
+    set_socket_timeout(fd, SO_SNDTIMEO, opt_.send_timeout_seconds);
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_.load() || conn_queue_.size() >= queue_budget()) {
+        shed = true;
+      } else {
+        conn_queue_.push_back(fd);
+      }
     }
-    ::close(fd);
+    if (shed) {
+      shed_total_.fetch_add(1, std::memory_order_relaxed);
+      refuse_connection(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void Server::refuse_connection(int fd) {
+  write_http_response(
+      fd, 503, "application/json",
+      error_body("server overloaded; retry later"),
+      {{"Retry-After", std::to_string(opt_.retry_after_seconds)}});
+  // The request bytes were never read; closing now would RST the socket
+  // and could discard the 503 before the client saw it.  Half-close and
+  // briefly drain until the client (who reads to EOF) hangs up.
+  set_socket_timeout(fd, SO_RCVTIMEO, 1);
+  ::shutdown(fd, SHUT_WR);
+  char sink[4096];
+  std::size_t drained = 0;
+  while (drained < 16 * 1024) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n <= 0) break;
+    drained += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+  try {
+    // Each worker owns a warm engine for its whole lifetime: the expensive
+    // problem copy and thread-pool spin-up happen once, not per request —
+    // and a respawned worker gets a fresh one, untouched by the crash.
+    PlanningEngine engine(baseline_, opt_.engine);
+    for (;;) {
+      int fd = -1;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        queue_cv_.wait(lock, [this] {
+          return stopping_.load() || !conn_queue_.empty();
+        });
+        if (conn_queue_.empty()) break;  // stopping_ and drained
+        fd = conn_queue_.front();
+        conn_queue_.pop_front();
+        slots_[worker_index].active_fd = fd;
+      }
+      try {
+        handle_connection(fd, engine);
+      } catch (const std::exception& e) {
+        NETREC_LOG(kWarn) << "serve: dropping connection: " << e.what();
+      }
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        ::close(slots_[worker_index].active_fd);
+        slots_[worker_index].active_fd = -1;
+      }
+      drained_cv_.notify_all();
+    }
+  } catch (...) {
+    // A crash — injected (fault::InjectedCrash is not a std::exception, so
+    // it sails past the handler above) or real — escaped the request path.
+    // Mark the slot dead and hand the corpse to the supervisor; the client
+    // on the active connection sees a reset and retries.
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      WorkerSlot& slot = slots_[worker_index];
+      if (slot.active_fd >= 0) {
+        ::close(slot.active_fd);
+        slot.active_fd = -1;
+      }
+      slot.dead = true;
+    }
+    supervisor_cv_.notify_one();
+    drained_cv_.notify_all();
+  }
+}
+
+void Server::supervisor_loop() {
+  for (;;) {
+    std::size_t dead_index = slots_.size();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      supervisor_cv_.wait(lock, [this] {
+        if (stopping_.load()) return true;
+        for (const WorkerSlot& slot : slots_) {
+          if (slot.dead) return true;
+        }
+        return false;
+      });
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].dead) {
+          slots_[i].dead = false;
+          dead_index = i;
+          break;
+        }
+      }
+      if (dead_index == slots_.size()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+    }
+    // Join outside the lock (the dying thread grabs queue_mutex_ on its way
+    // out).  No other thread touches this slot's thread object: stop()
+    // only joins workers after joining the supervisor.
+    slots_[dead_index].thread.join();
+    worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+    NETREC_LOG(kWarn) << "serve: worker " << dead_index
+                      << " died; respawning with a fresh engine";
+    if (stopping_.load()) continue;  // shutting down: no respawn
+    slots_[dead_index].thread =
+        std::thread([this, dead_index] { worker_loop(dead_index); });
   }
 }
 
 void Server::handle_connection(int fd, PlanningEngine& engine) {
+  if (FAULT_POINT("serve.recv")) return;  // injected: drop before reading
   HttpRequest request;
   const double start = now_seconds();
   try {
@@ -151,6 +321,11 @@ void Server::handle_connection(int fd, PlanningEngine& engine) {
     write_http_response(fd, e.status(), "application/json",
                         error_body(e.what()));
     return;
+  }
+  if (FAULT_POINT("serve.stall")) {
+    // Injected slow handler: parks this worker so overload tests can fill
+    // the queue and exercise admission control.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
 
   bool cache_hit = false;
@@ -161,13 +336,25 @@ void Server::handle_connection(int fd, PlanningEngine& engine) {
   } catch (const HttpError& e) {
     status = e.status();
     body = error_body(e.what());
+  } catch (const util::fault::InjectedFault& e) {
+    // Recoverable injected failure (e.g. "pool.task"): retryable, so map
+    // it to 503 + Retry-After rather than a terminal 500.
+    status = 503;
+    body = error_body(e.what());
   } catch (const std::exception& e) {
     status = 500;
     body = error_body(std::string("internal error: ") + e.what());
   }
   metrics_.record(request.method + " " + request.target, now_seconds() - start,
                   status >= 400, cache_hit);
-  write_http_response(fd, status, "application/json", body);
+  if (FAULT_POINT("serve.send")) return;  // injected: drop the response
+  if (status == 503) {
+    write_http_response(
+        fd, status, "application/json", body,
+        {{"Retry-After", std::to_string(opt_.retry_after_seconds)}});
+  } else {
+    write_http_response(fd, status, "application/json", body);
+  }
 }
 
 std::pair<int, std::string> Server::route(const HttpRequest& request,
@@ -209,6 +396,22 @@ std::pair<int, std::string> Server::route(const HttpRequest& request,
                                        : static_cast<double>(stats.hits) /
                                              static_cast<double>(lookups));
     body.set("plan_cache", cache);
+    util::Json server = util::Json::object();
+    server.set("workers", opt_.workers);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      std::size_t busy = 0;
+      for (const WorkerSlot& slot : slots_) {
+        if (slot.active_fd >= 0) ++busy;
+      }
+      server.set("busy_workers", busy);
+      server.set("queue_depth", conn_queue_.size());
+    }
+    server.set("queue_budget", queue_budget());
+    server.set("shed_total", shed_total_.load());
+    server.set("worker_restarts", worker_restarts_.load());
+    server.set("degraded_total", degraded_total_.load());
+    body.set("server", server);
     return {200, body.dump()};
   }
   if (target == "/v1/plan") {
@@ -249,21 +452,32 @@ std::string Server::handle_plan(const std::string& body,
 
   std::shared_ptr<const std::string> payload = cache_.find(key);
   cache_hit = payload != nullptr;
+  bool degraded = false;
   if (!payload) {
-    std::string fresh = engine.solve(request).dump();
-    payload = std::make_shared<const std::string>(std::move(fresh));
-    cache_.insert(key, *payload);
+    PlanOutcome outcome = engine.solve(request);
+    degraded = outcome.degraded;
+    payload = std::make_shared<const std::string>(outcome.payload.dump());
+    if (degraded) {
+      // Degraded payloads never enter the cache: a hit must always be
+      // bit-identical to a *full* fresh solve.
+      degraded_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cache_.insert(key, *payload);
+    }
   }
 
   // The payload bytes are spliced in verbatim — identical between a cache
   // hit and a fresh solve.  Everything request-specific (fingerprint,
-  // cached flag, latency) lives in the meta object outside those bytes.
+  // cached/degraded flags, latency) lives in the meta object outside those
+  // bytes.
   std::string response = "{\"result\":";
   response += *payload;
   response += ",\"meta\":{\"fingerprint\":\"";
   response += digest;
   response += "\",\"cached\":";
   response += cache_hit ? "true" : "false";
+  response += ",\"degraded\":";
+  response += degraded ? "true" : "false";
   response += ",\"latency_ms\":";
   response += format_latency_ms(now_seconds() - start_seconds);
   response += "}}";

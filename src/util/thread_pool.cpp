@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace netrec::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -75,6 +77,12 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     const std::size_t begin = c * grain;
     const std::size_t end = std::min(n, begin + grain);
     try {
+      // Inside the try so an injected failure behaves exactly like a kernel
+      // exception: captured into first_error, completion counting intact,
+      // rethrown at the caller — never a stuck parallel_for.
+      if (FAULT_POINT("pool.task")) {
+        throw fault::InjectedFault("pool.task");
+      }
       for (std::size_t i = begin; i < end; ++i) fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex);

@@ -243,9 +243,9 @@ TEST(ServeEngine, PayloadIsPureFunctionOfRequest) {
 
   serve::PlanningEngine engine_a(p);
   serve::PlanningEngine engine_b(p);
-  const std::string first = engine_a.solve(request).dump();
-  const std::string again = engine_a.solve(request).dump();
-  const std::string other = engine_b.solve(request).dump();
+  const std::string first = engine_a.solve(request).payload.dump();
+  const std::string again = engine_a.solve(request).payload.dump();
+  const std::string other = engine_b.solve(request).payload.dump();
   EXPECT_EQ(first, again);  // one engine twice
   EXPECT_EQ(first, other);  // two engines
 
@@ -263,9 +263,9 @@ TEST(ServeEngine, DamageDoesNotLeakBetweenRequests) {
   const serve::PlanRequest light =
       serve::parse_plan_request(plan_body({8}, {}), p);
 
-  const std::string light_before = engine.solve(light).dump();
+  const std::string light_before = engine.solve(light).payload.dump();
   engine.solve(damaged);
-  const std::string light_after = engine.solve(light).dump();
+  const std::string light_after = engine.solve(light).payload.dump();
   EXPECT_EQ(light_before, light_after);
   EXPECT_EQ(engine.problem().graph.num_broken_nodes(), 0u);
   EXPECT_EQ(engine.problem().graph.num_broken_edges(), 0u);
@@ -291,8 +291,8 @@ TEST(ServeEngine, TimelineModeIsDeterministic) {
   const serve::PlanRequest request = serve::parse_plan_request(body, p);
 
   serve::PlanningEngine engine(p);
-  const std::string first = engine.solve(request).dump();
-  const std::string again = engine.solve(request).dump();
+  const std::string first = engine.solve(request).payload.dump();
+  const std::string again = engine.solve(request).payload.dump();
   EXPECT_EQ(first, again);
 
   const util::Json payload = util::Json::parse(first);
@@ -369,7 +369,7 @@ TEST_F(ServeServerTest, PlanMatchesDirectSolveAndCacheHitIsBitIdentical) {
   serve::PlanningEngine direct(problem_);
   const serve::PlanRequest request = serve::parse_plan_request(
       util::Json::parse(request_body), problem_);
-  EXPECT_EQ(first, direct.solve(request).dump());
+  EXPECT_EQ(first, direct.solve(request).payload.dump());
 
   const serve::PlanCache::Stats stats = server_->cache_stats();
   EXPECT_GE(stats.hits, 1u);
@@ -444,7 +444,7 @@ TEST(ServeConcurrency, ParallelMixedRequestsMatchSerialSolves) {
   expected.reserve(bodies.size());
   for (const util::Json& body : bodies) {
     expected.push_back(
-        serial.solve(serve::parse_plan_request(body, problem)).dump());
+        serial.solve(serve::parse_plan_request(body, problem)).payload.dump());
   }
 
   serve::ServerOptions options;

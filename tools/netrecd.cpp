@@ -18,6 +18,7 @@
 
 #include "serve/preload.hpp"
 #include "serve/server.hpp"
+#include "util/fault.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
 
@@ -34,6 +35,19 @@ int main(int argc, char** argv) {
   flags.define("cache", "4096", "plan cache capacity (0 = disabled)");
   flags.define("metrics-window", "4096",
                "latency samples per endpoint for p50/p99");
+  flags.define("deadline-ms", "0",
+               "per-request solve deadline in ms; expired solves degrade to "
+               "the heuristic fallback (0 = no deadline)");
+  flags.define("queue-budget", "0",
+               "queued connections before shedding with 503 (0 = 2x workers)");
+  flags.define("retry-after", "1",
+               "Retry-After seconds advertised on shed/overload 503s");
+  flags.define("grace", "5",
+               "shutdown grace seconds for in-flight requests");
+  flags.define("faults", "",
+               "fault-injection spec, e.g. 'serve.recv=p0.05,"
+               "engine.solve=every8' (see src/util/fault.hpp)");
+  flags.define("fault-seed", "1", "fault-injection decision seed");
   flags.define("verbose", "false", "log request handling to stderr");
   try {
     if (!flags.parse(argc, argv)) {
@@ -58,6 +72,24 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("metrics-window"));
     options.engine.solve_threads =
         static_cast<std::size_t>(flags.get_int("solve-threads"));
+    options.engine.deadline_ms = flags.get_double("deadline-ms");
+    options.queue_budget =
+        static_cast<std::size_t>(flags.get_int("queue-budget"));
+    options.retry_after_seconds = flags.get_int("retry-after");
+    options.shutdown_grace_seconds = flags.get_double("grace");
+
+    // Chaos testing: arm fault sites from the environment first, then let
+    // an explicit --faults spec override/extend it.
+    if (util::fault::arm_from_env()) {
+      std::fprintf(stderr, "netrecd: armed faults from NETREC_FAULTS\n");
+    }
+    if (!flags.get("faults").empty()) {
+      util::fault::arm(flags.get("faults"),
+                       static_cast<std::uint64_t>(
+                           flags.get_int("fault-seed")));
+      std::fprintf(stderr, "netrecd: armed faults: %s\n",
+                   flags.get("faults").c_str());
+    }
 
     core::RecoveryProblem problem = serve::build_preloaded_problem(flags);
     std::fprintf(stderr, "netrecd: preloaded %s\n",
